@@ -1,0 +1,19 @@
+"""Shared experiment context for the benchmark suite.
+
+Built once per session: the six databases, the 132-question dev sample,
+the training logs, and the mined knowledge sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context():
+    experiment_context = ExperimentContext()
+    experiment_context.workload
+    experiment_context.knowledge_sets
+    return experiment_context

@@ -1,0 +1,67 @@
+"""Cost/quality frontier: budget-parametrized pipelines (§5 extension).
+
+The paper's related work proposes "specifying a dollar cost and
+parametrizing GenEdit pipelines differently". This bench runs the three
+configuration tiers over the dev sample and reports the measured EX /
+cost / latency frontier: quality should dominate EX, economy should
+dominate cost, and the frontier should be monotone (paying more never
+hurts accuracy).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import evaluate_system, format_table
+from repro.pipeline import GenEditPipeline
+from repro.pipeline.tuning import TIERS
+
+
+def _run_tiers(context):
+    reports = {}
+    for tier in TIERS:
+        reports[tier.name] = evaluate_system(
+            lambda db, ks, cfg=tier.config: GenEditPipeline(
+                db, ks, config=cfg
+            ),
+            context.workload,
+            context.profiles,
+            context.knowledge_sets,
+            tier.name,
+        )
+    return reports
+
+
+def test_cost_frontier(benchmark, context):
+    reports = benchmark.pedantic(
+        lambda: _run_tiers(context), rounds=1, iterations=1
+    )
+    quality = reports["quality"]
+    balanced = reports["balanced"]
+    economy = reports["economy"]
+
+    # Paying more never hurts accuracy; the economy tier is cheapest.
+    assert quality.accuracy() >= balanced.accuracy() >= economy.accuracy()
+    assert economy.total_cost_usd < balanced.total_cost_usd
+    assert balanced.total_cost_usd <= quality.total_cost_usd
+
+    # The economy tier still answers most simple questions.
+    assert economy.accuracy("simple") >= 50.0
+
+    rows = []
+    for name, report in reports.items():
+        questions = len(report.outcomes)
+        rows.append(
+            (
+                name,
+                report.accuracy(),
+                report.total_cost_usd / questions * 1000,
+                sum(o.latency_ms for o in report.outcomes) / questions / 1000,
+            )
+        )
+    print()
+    print(
+        format_table(
+            "Cost/quality frontier (reproduced, §5 extension)",
+            ["Tier", "EX", "Cost/question (m$)", "Latency/question (s)"],
+            rows,
+        )
+    )

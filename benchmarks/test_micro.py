@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the substrates (timed over many rounds).
+
+Not a paper table — these keep the substrate performance honest: SQL
+parsing, the Appendix-A-shaped query execution, knowledge retrieval, and a
+full single-question pipeline pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Executor
+from repro.pipeline import GenEditPipeline
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+
+APPENDIX_STYLE = (
+    "WITH NUMER AS (SELECT ORG_NAME, "
+    "SUM(CASE WHEN TO_CHAR(FIN_MONTH, 'YYYY\"Q\"Q') = '2023Q1' "
+    "THEN REVENUE ELSE 0 END) AS PREV_VALUE, "
+    "SUM(CASE WHEN TO_CHAR(FIN_MONTH, 'YYYY\"Q\"Q') = '2023Q2' "
+    "THEN REVENUE ELSE 0 END) AS CUR_VALUE "
+    "FROM SPORTS_FINANCIALS WHERE TO_CHAR(FIN_MONTH, 'YYYY\"Q\"Q') IN "
+    "('2023Q1', '2023Q2') GROUP BY ORG_NAME), "
+    "DENOM AS (SELECT ORG_NAME, "
+    "SUM(CASE WHEN TO_CHAR(VIEW_MONTH, 'YYYY\"Q\"Q') = '2023Q1' "
+    "THEN VIEWS ELSE 0 END) AS PREV_VALUE, "
+    "SUM(CASE WHEN TO_CHAR(VIEW_MONTH, 'YYYY\"Q\"Q') = '2023Q2' "
+    "THEN VIEWS ELSE 0 END) AS CUR_VALUE "
+    "FROM SPORTS_VIEWERSHIP WHERE TO_CHAR(VIEW_MONTH, 'YYYY\"Q\"Q') IN "
+    "('2023Q1', '2023Q2') GROUP BY ORG_NAME), "
+    "DELTA AS (SELECT n.ORG_NAME AS ORG_NAME, "
+    "CAST(n.CUR_VALUE AS FLOAT) / NULLIF(d.CUR_VALUE, 0) AS CURRENT_METRIC, "
+    "CAST(n.PREV_VALUE AS FLOAT) / NULLIF(d.PREV_VALUE, 0) AS PREVIOUS_METRIC, "
+    "ROW_NUMBER() OVER (ORDER BY CAST(n.CUR_VALUE AS FLOAT) / "
+    "NULLIF(d.CUR_VALUE, 0) DESC) AS BEST_RANK "
+    "FROM NUMER n JOIN DENOM d ON n.ORG_NAME = d.ORG_NAME) "
+    "SELECT ORG_NAME, CURRENT_METRIC, BEST_RANK FROM DELTA "
+    "WHERE BEST_RANK <= 5 ORDER BY BEST_RANK"
+)
+
+
+def test_parse_appendix_query(benchmark):
+    query = benchmark(parse, APPENDIX_STYLE)
+    assert len(query.ctes) == 3
+
+
+def test_print_round_trip(benchmark):
+    query = parse(APPENDIX_STYLE)
+    rendered = benchmark(to_sql, query)
+    assert "WITH NUMER AS" in rendered
+
+
+def test_execute_appendix_query(benchmark, context):
+    database = context.profiles["sports_holdings"].database
+    executor = Executor(database)
+    result = benchmark(executor.execute, APPENDIX_STYLE)
+    assert len(result.rows) == 5
+
+
+def test_knowledge_retrieval(benchmark, context):
+    knowledge = context.knowledge_sets["sports_holdings"]
+    hits = benchmark(
+        knowledge.search_examples,
+        "best and worst revenue per viewer in Canada", 8,
+    )
+    assert hits
+
+
+def test_full_pipeline_single_question(benchmark, context):
+    profile = context.profiles["sports_holdings"]
+    knowledge = context.knowledge_sets["sports_holdings"]
+    pipeline = GenEditPipeline(profile.database, knowledge)
+    result = benchmark(
+        pipeline.generate, "What is the total revenue in Canada for Q2 2023?"
+    )
+    assert result.success

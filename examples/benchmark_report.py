@@ -1,0 +1,40 @@
+"""Regenerate every paper table/figure in one run.
+
+Run:  python examples/benchmark_report.py           (~90 seconds)
+      python examples/benchmark_report.py table1    (one experiment)
+
+Thin wrapper over ``python -m repro.bench.harness`` — prints Table 1,
+Table 2, the §3.3.4 crossover, and the §4.2.3 feedback metrics, side by
+side with the values the paper reports.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import main as harness_main
+
+PAPER_NUMBERS = """
+Paper values for comparison (CIDR 2025, evaluation of Aug. 2024):
+
+Table 1 (All-bucket EX):  CHESS 64.62 | GenEdit 60.61 | MAC-SQL 59.39 |
+                          TA-SQL 56.19 | DAIL-SQL 54.3 | C3-SQL 50.2
+GenEdit by bucket:        Simple 69.89 | Moderate 39.29 | Challenging 36.36
+
+Table 2 (delta vs full):  w/o Schema Linking -2.28 | w/o Instructions -10.61
+                          w/o Examples -1.52 | w/o Pseudo-SQL -9.85
+                          w/o Decomposition -2.28
+
+Crossover (§3.3.4):       schema-maximal fine-tuned approach 67.21 on BIRD
+                          (beats GenEdit) yet cannot handle enterprise
+                          query complexity — GenEdit ships.
+"""
+
+
+def main():
+    print(PAPER_NUMBERS)
+    return harness_main(sys.argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

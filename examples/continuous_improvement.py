@@ -1,0 +1,125 @@
+"""The §6 demo: feedback → staged edits → regeneration → approval → fixed.
+
+Run:  python examples/continuous_improvement.py
+
+Replays the paper's demonstration script:
+  1. generate SQL for a question the knowledge set cannot yet answer
+     (a colloquial metric name no catalog entry covers);
+  2. give feedback through the Feedback Solver; inspect the recommended
+     edits (operators #1-#4 of the edits-recommendation module);
+  3. stage the edits, regenerate in the staging environment, and watch the
+     query come back correct;
+  4. submit — regression testing over golden queries — and approve;
+  5. verify the fix is live and auditable in the Knowledge Set Library,
+     then revert to the pre-merge checkpoint and back.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ApprovalQueue,
+    FeedbackSolver,
+    GenEditPipeline,
+    GoldenQuery,
+    KnowledgeLibrary,
+    KnowledgeSetHistory,
+)
+from repro.bench.bird import build_knowledge_sets, build_workload
+from repro.bench.schemas import build_profile
+
+QUESTION = "What is the average outlay in 2023?"
+FEEDBACK = (
+    "This used the wrong measure. 'outlay' refers to the EXPENSES column "
+    "in SPORTS_FINANCIALS."
+)
+
+
+def main():
+    profile = build_profile("sports_holdings")
+    workload = build_workload()
+    knowledge = build_knowledge_sets(workload)["sports_holdings"]
+    history = KnowledgeSetHistory(knowledge)
+    queue = ApprovalQueue(knowledge, history)
+    library = KnowledgeLibrary(knowledge, history)
+    pipeline = GenEditPipeline(profile.database, knowledge)
+    golden = [
+        GoldenQuery(entry.question, entry.sql)
+        for entry in workload.training_logs["sports_holdings"][:4]
+    ]
+    solver = FeedbackSolver(
+        pipeline, golden_queries=golden, approval_queue=queue
+    )
+
+    gold_sql = (
+        "SELECT AVG(EXPENSES) AS METRIC_VALUE FROM SPORTS_FINANCIALS "
+        "WHERE TO_CHAR(FIN_MONTH, 'YYYY') = '2023'"
+    )
+    expected = pipeline.execute(gold_sql).rows[0][0]
+
+    print("STEP 1 — initial generation")
+    result = solver.ask(QUESTION)
+    print("  Q:", QUESTION)
+    print("  SQL:", result.sql)
+    got = solver.run_sql().rows[0][0] if result.success else None
+    print(f"  result: {got}  (expected {expected:.2f}) -> "
+          f"{'CORRECT' if got == expected else 'WRONG'}")
+
+    print("\nSTEP 2 — feedback and recommended edits")
+    print("  feedback:", FEEDBACK)
+    recommendations = solver.give_feedback(FEEDBACK)
+    print("  edit plan:")
+    for step in solver.last_plan:
+        print("    -", step.description)
+    for edit in recommendations:
+        print("  recommended:", edit.describe())
+
+    print("\nSTEP 3 — stage and regenerate (staging environment)")
+    solver.stage()
+    regenerated = solver.regenerate()
+    print("  regenerated SQL:", regenerated.sql)
+    got = solver.run_sql(regenerated.sql).rows[0][0]
+    print(f"  result: {got:.2f} -> "
+          f"{'CORRECT' if got == expected else 'WRONG'}")
+
+    print("\nSTEP 4 — submit: regression testing + approval")
+    submission = solver.submit()
+    print("  regression:", submission.regression_report.summary())
+    print("  status:", submission.status)
+    queue.approve(submission, reviewer="sme-lead")
+    print("  approved and merged ->", submission.status)
+
+    print("\nSTEP 5 — the fix is live and auditable")
+    live = pipeline.generate(QUESTION)
+    got = pipeline.execute(live.sql).rows[0][0]
+    print("  live SQL:", live.sql)
+    print(f"  result: {got:.2f} -> "
+          f"{'CORRECT' if got == expected else 'WRONG'}")
+    print("  knowledge set library timeline:")
+    for feedback_id, records in library.feedback_timeline():
+        for record in records:
+            print(
+                f"    [{record.timestamp}] {record.action} "
+                f"{record.component_kind} {record.component_id} "
+                f"({feedback_id}): {record.summary}"
+            )
+    checkpoints = history.checkpoints()
+    print("  checkpoints:", [
+        (checkpoint.checkpoint_id, checkpoint.label)
+        for checkpoint in checkpoints
+    ])
+
+    print("\nSTEP 6 — reversion works too")
+    history.revert_to(checkpoints[0].checkpoint_id)
+    reverted = pipeline.generate(QUESTION)
+    got = pipeline.execute(reverted.sql).rows[0][0] if reverted.success else None
+    print(f"  after revert the old behaviour is back "
+          f"({'WRONG again, as expected' if got != expected else 'still fixed?!'})")
+    history.revert_to(checkpoints[-1].checkpoint_id)
+    final = pipeline.generate(QUESTION)
+    got = pipeline.execute(final.sql).rows[0][0]
+    print(f"  restored the merged checkpoint: {got:.2f} -> "
+          f"{'CORRECT' if got == expected else 'WRONG'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Quickstart: build a knowledge set from logs + documents, generate SQL.
+
+Run:  python examples/quickstart.py
+
+Walks the full GenEdit flow on a small HR database:
+  1. pre-processing — mine the knowledge set from query logs and a domain
+     handbook (decomposed examples, term instructions, profiled schema);
+  2. inference — the compounding-operator pipeline, with the full operator
+     trace printed so the Fig. 1 architecture is visible;
+  3. execution — run the generated SQL on the in-memory engine.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro import (
+    Column,
+    Database,
+    DomainDocument,
+    GenEditPipeline,
+    GlossaryEntry,
+    GuidelineEntry,
+    LoggedQuery,
+    mine_knowledge_set,
+)
+
+
+def build_database():
+    db = Database("hr", description="Small HR warehouse.")
+    db.create_table(
+        "DEPARTMENTS",
+        [
+            Column("DEPT_ID", "INTEGER", "Unique department id."),
+            Column("DEPT_NAME", "TEXT", "Department name."),
+            Column("REGION", "TEXT", "Operating region."),
+        ],
+        rows=[
+            (1, "Engineering", "West"),
+            (2, "Sales", "East"),
+            (3, "Support", "West"),
+        ],
+        description="Each row is a department.",
+    )
+    db.create_table(
+        "EMPLOYEES",
+        [
+            Column("EMP_ID", "INTEGER", "Unique employee id."),
+            Column("EMP_NAME", "TEXT", "Employee name."),
+            Column(
+                "DEPT_ID", "INTEGER",
+                "Department. Foreign key to DEPARTMENTS.DEPT_ID.",
+            ),
+            Column("SALARY", "FLOAT", "Annual salary. Also called: pay."),
+            Column("HIRED", "DATE", "Hire date."),
+            Column("LEVEL_CODE", "TEXT", "Seniority code (L1-L5)."),
+        ],
+        rows=[
+            (1, "Ada", 1, 120.0, datetime.date(2020, 1, 15), "L5"),
+            (2, "Grace", 1, 140.0, datetime.date(2019, 6, 1), "L5"),
+            (3, "Alan", 2, 90.0, datetime.date(2021, 3, 10), "L3"),
+            (4, "Edsger", 2, 95.0, datetime.date(2022, 7, 20), "L4"),
+            (5, "Barbara", 3, 70.0, datetime.date(2023, 2, 5), "L2"),
+            (6, "Donald", 3, 82.0, datetime.date(2018, 11, 30), "L3"),
+        ],
+        description="Each row is an employee.",
+    )
+    return db
+
+
+def build_knowledge(db):
+    query_log = [
+        LoggedQuery(
+            "q1",
+            "Show me the total salary per region",
+            "SELECT REGION, SUM(SALARY) AS METRIC_VALUE FROM EMPLOYEES "
+            "JOIN DEPARTMENTS ON EMPLOYEES.DEPT_ID = DEPARTMENTS.DEPT_ID "
+            "GROUP BY REGION",
+            "compensation analytics",
+        ),
+        LoggedQuery(
+            "q2",
+            "Show me the 3 employees with the best and worst salary",
+            "WITH GROUPED AS (SELECT EMP_NAME, SUM(SALARY) AS METRIC_VALUE "
+            "FROM EMPLOYEES GROUP BY EMP_NAME), RANKED AS (SELECT EMP_NAME, "
+            "METRIC_VALUE, ROW_NUMBER() OVER (ORDER BY METRIC_VALUE DESC) "
+            "AS BEST_RANK, ROW_NUMBER() OVER (ORDER BY METRIC_VALUE ASC) "
+            "AS WORST_RANK FROM GROUPED) SELECT EMP_NAME, METRIC_VALUE, "
+            "BEST_RANK FROM RANKED WHERE BEST_RANK <= 3 OR WORST_RANK <= 3 "
+            "ORDER BY BEST_RANK",
+            "compensation analytics",
+        ),
+    ]
+    handbook = DomainDocument(
+        doc_id="hr-handbook",
+        title="HR analytics handbook",
+        glossary=[
+            GlossaryEntry(
+                term="payroll",
+                definition="the total annual salary bill",
+                sql_pattern="SUM(SALARY)",
+                tables=("EMPLOYEES",),
+                intent_name="compensation analytics",
+            ),
+        ],
+        guidelines=[
+            GuidelineEntry(
+                text="'senior' employees means LEVEL_CODE IN L4, L5",
+                sql_pattern="LEVEL_CODE IN ('L4', 'L5')",
+                tables=("EMPLOYEES",),
+                intent_name="compensation analytics",
+            ),
+        ],
+    )
+    return mine_knowledge_set(db, query_log, [handbook])
+
+
+def main():
+    db = build_database()
+    knowledge = build_knowledge(db)
+    print("Knowledge set:", knowledge.stats())
+    pipeline = GenEditPipeline(db, knowledge)
+
+    questions = [
+        "How many senior employees are there?",
+        "What is the payroll of the employees in West?",
+        "Show me the 2 employees with the best and worst total salary",
+    ]
+    for question in questions:
+        print("\n" + "=" * 72)
+        print("Q:", question)
+        result = pipeline.generate(question)
+        print("\n-- operator trace (Fig. 1) --")
+        for event in result.trace:
+            print("  ", event)
+        print("\n-- generated SQL --")
+        print(result.sql)
+        if result.success:
+            table = pipeline.execute(result.sql)
+            print("\n-- result --")
+            print(table.columns)
+            for row in table.rows:
+                print(" ", row)
+        print(
+            f"\n(cost ${result.cost_usd:.5f}, "
+            f"latency {result.latency_ms:.0f} ms simulated)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""GenEdit reproduction: enterprise Text-to-SQL with compounding operators
+and continuous improvement (CIDR 2025).
+
+Public API quick map:
+
+* :class:`repro.GenEditPipeline` — the SQL generation pipeline (Fig. 1);
+* :func:`repro.mine_knowledge_set` — pre-processing: logs + documents →
+  knowledge set;
+* :class:`repro.FeedbackSolver` — the continuous-improvement session
+  (feedback → recommended edits → staging → regeneration → submission);
+* :class:`repro.Database` / :class:`repro.Executor` — the SQL substrate;
+* :mod:`repro.bench` — the BIRD-like benchmark and experiment harness.
+"""
+
+from .engine import Column, Database, Executor, Result, execute_sql
+from .feedback import (
+    ApprovalQueue,
+    FeedbackSolver,
+    GoldenQuery,
+    run_regression,
+)
+from .knowledge import (
+    DecomposedExample,
+    DomainDocument,
+    GlossaryEntry,
+    GuidelineEntry,
+    Instruction,
+    KnowledgeLibrary,
+    KnowledgeSet,
+    KnowledgeSetHistory,
+    LoggedQuery,
+    mine_knowledge_set,
+)
+from .pipeline import (
+    DEFAULT_CONFIG,
+    GenEditPipeline,
+    GenerationResult,
+    PipelineConfig,
+)
+from .sql import format_sql, parse, to_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApprovalQueue",
+    "Column",
+    "DEFAULT_CONFIG",
+    "Database",
+    "DecomposedExample",
+    "DomainDocument",
+    "Executor",
+    "FeedbackSolver",
+    "GenEditPipeline",
+    "GenerationResult",
+    "GlossaryEntry",
+    "GoldenQuery",
+    "GuidelineEntry",
+    "Instruction",
+    "KnowledgeLibrary",
+    "KnowledgeSet",
+    "KnowledgeSetHistory",
+    "LoggedQuery",
+    "PipelineConfig",
+    "Result",
+    "execute_sql",
+    "format_sql",
+    "mine_knowledge_set",
+    "parse",
+    "run_regression",
+    "to_sql",
+    "__version__",
+]

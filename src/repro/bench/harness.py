@@ -1,0 +1,393 @@
+"""Experiment harness: run systems over workloads and print paper tables.
+
+``python -m repro.bench.harness table1|table2|crossover|feedback|all``
+regenerates the corresponding experiment from the paper (see DESIGN.md's
+per-experiment index). The harness is also the library API the benchmark
+suite under ``benchmarks/`` calls into.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..pipeline.config import DEFAULT_CONFIG
+from ..pipeline.pipeline import GenEditPipeline
+from .bird import build_knowledge_sets, build_workload
+from .metrics import EvaluationReport, QuestionOutcome, execution_match
+from .schemas import DEFAULT_SEED, build_all
+
+
+def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
+                    system_name, questions=None):
+    """Run one system over the workload and return an EvaluationReport.
+
+    ``make_pipeline(database, knowledge)`` builds the system under test for
+    one database; it must expose ``generate(question) -> GenerationResult``.
+    """
+    report = EvaluationReport(system=system_name)
+    pipelines = {}
+    for question in questions if questions is not None else workload.questions:
+        profile = profiles[question.database]
+        if question.database not in pipelines:
+            pipelines[question.database] = make_pipeline(
+                profile.database, knowledge_sets[question.database]
+            )
+        pipeline = pipelines[question.database]
+        result = pipeline.generate(question.question)
+        correct = execution_match(
+            profile.database, result.sql, question.gold_sql
+        )
+        report.add(
+            QuestionOutcome(
+                question_id=question.question_id,
+                difficulty=question.difficulty,
+                database=question.database,
+                correct=correct,
+                predicted_sql=result.sql,
+                gold_sql=question.gold_sql,
+                features=question.features,
+                issues=tuple(result.plan.issues) if result.plan else (),
+                cost_usd=result.cost_usd,
+                latency_ms=result.latency_ms,
+            )
+        )
+    return report
+
+
+def format_table(title, headers, rows):
+    widths = [len(header) for header in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [
+            f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        rendered_rows.append(rendered)
+        widths = [max(w, len(cell)) for w, cell in zip(widths, rendered)]
+    lines = [title]
+    lines.append(
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(rendered, widths))
+        )
+    return "\n".join(lines)
+
+
+class ExperimentContext:
+    """Shared, lazily-built workload + knowledge sets for all experiments."""
+
+    def __init__(self, seed=DEFAULT_SEED):
+        self.seed = seed
+        self._workload = None
+        self._profiles = None
+        self._knowledge = None
+        self._knowledge_full = None
+
+    @property
+    def workload(self):
+        if self._workload is None:
+            self._workload = build_workload(self.seed)
+        return self._workload
+
+    @property
+    def profiles(self):
+        if self._profiles is None:
+            self._profiles = build_all(self.seed)
+        return self._profiles
+
+    @property
+    def knowledge_sets(self):
+        if self._knowledge is None:
+            self._knowledge = build_knowledge_sets(self.workload, self.seed)
+        return self._knowledge
+
+    def knowledge_sets_full_queries(self):
+        """Knowledge sets with *undecomposed* examples (the w/o-decomposition
+        regime and the full-query baselines)."""
+        if self._knowledge_full is None:
+            self._knowledge_full = build_knowledge_sets(
+                self.workload, self.seed, decompose=False
+            )
+        return self._knowledge_full
+
+
+def run_genedit(context, config=None, questions=None, system_name="GenEdit",
+                knowledge_sets=None):
+    return evaluate_system(
+        lambda database, knowledge: GenEditPipeline(
+            database, knowledge, config=config or DEFAULT_CONFIG
+        ),
+        context.workload,
+        context.profiles,
+        knowledge_sets or context.knowledge_sets,
+        system_name,
+        questions=questions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# experiments
+# ---------------------------------------------------------------------------
+
+
+def table1(context=None, include_baselines=True, verbose=True):
+    """Table 1: GenEdit vs prior systems on the BIRD-like dev sample."""
+    from .baselines import BASELINES
+    from ..pipeline.pipeline import GenEditPipeline as _Pipeline
+
+    context = context or ExperimentContext()
+    reports = []
+    if include_baselines:
+        for spec in BASELINES:
+            knowledge = (
+                context.knowledge_sets_full_queries()
+                if spec.knowledge == "full"
+                else context.knowledge_sets
+            )
+            reports.append(
+                evaluate_system(
+                    lambda db, ks, cfg=spec.config: _Pipeline(
+                        db, ks, config=cfg
+                    ),
+                    context.workload,
+                    context.profiles,
+                    knowledge,
+                    spec.name,
+                )
+            )
+    reports.append(run_genedit(context))
+    reports.sort(key=lambda report: -report.accuracy())
+    rows = [
+        (report.system, *report.row()) for report in reports
+    ]
+    table = format_table(
+        "Table 1: EX on the BIRD-like dev sample (10% buckets: 93/28/11)",
+        ["Method", "Simple", "Moderate", "Challenging", "All"],
+        rows,
+    )
+    if verbose:
+        print(table)
+    return reports
+
+
+ABLATIONS = (
+    ("w/o Schema Linking", "schema_linking"),
+    ("w/o Instructions", "instructions"),
+    ("w/o Examples", "examples"),
+    ("w/o Pseudo-SQL", "pseudo_sql"),
+    ("w/o Decomposition", "decomposition"),
+)
+
+
+def table2(context=None, verbose=True):
+    """Table 2: operator ablations."""
+    context = context or ExperimentContext()
+    full = run_genedit(context)
+    reports = [full]
+    for label, component in ABLATIONS:
+        config = DEFAULT_CONFIG.without(component)
+        knowledge = None
+        if component == "decomposition":
+            knowledge = context.knowledge_sets_full_queries()
+        reports.append(
+            run_genedit(
+                context, config=config, system_name=label,
+                knowledge_sets=knowledge,
+            )
+        )
+    rows = []
+    base_total = full.accuracy()
+    for report in reports:
+        simple, moderate, challenging, total = report.row()
+        delta = total - base_total
+        suffix = f"{total:.2f}" if report is full else (
+            f"{total:.2f} ({delta:+.2f})"
+        )
+        rows.append(
+            (report.system, f"{simple:.2f}", f"{moderate:.2f}",
+             f"{challenging:.2f}", suffix)
+        )
+    table = format_table(
+        "Table 2: ablation study (EX without each operator)",
+        ["Method", "Simple", "Moderate", "Challenging", "Total"],
+        rows,
+    )
+    if verbose:
+        print(table)
+    return reports
+
+
+def crossover(context=None, verbose=True):
+    """§3.3.4: schema-maximal approach vs GenEdit, BIRD-like vs enterprise."""
+    from .baselines import build_schema_maximal
+    from .enterprise import build_enterprise_workload
+
+    context = context or ExperimentContext()
+    enterprise = build_enterprise_workload(context.seed)
+    rows = []
+    reports = {}
+    for system_name, builder in (
+        ("GenEdit", lambda db, ks: GenEditPipeline(db, ks)),
+        ("SchemaMaximal", build_schema_maximal),
+    ):
+        dev_report = evaluate_system(
+            builder, context.workload, context.profiles,
+            context.knowledge_sets, system_name,
+        )
+        enterprise_report = evaluate_system(
+            builder, enterprise, context.profiles,
+            context.knowledge_sets, system_name,
+            questions=enterprise.questions,
+        )
+        reports[system_name] = (dev_report, enterprise_report)
+        rows.append(
+            (
+                system_name,
+                dev_report.accuracy(),
+                enterprise_report.accuracy(),
+            )
+        )
+    table = format_table(
+        "Crossover (§3.3.4): BIRD-like dev vs enterprise workload EX",
+        ["Method", "BIRD-like", "Enterprise"],
+        rows,
+    )
+    if verbose:
+        print(table)
+    return reports
+
+
+def model_selection(context=None, verbose=True):
+    """§3.3.3: GPT-4o-mini on schema linking — cost/latency vs accuracy.
+
+    The paper runs GPT-4o everywhere except schema linking, "where we
+    instead employ GPT-4o-mini to reduce primarily cost and then latency".
+    This experiment runs the pipeline with each choice and reports EX,
+    total simulated cost, and per-question latency.
+    """
+    from ..llm.interface import GPT_4O, GPT_4O_MINI
+    from ..llm.simulated import SimulatedLLM
+
+    context = context or ExperimentContext()
+    rows = []
+    reports = {}
+    for label, linking_model in (
+        ("gpt-4o-mini linking (deployed)", GPT_4O_MINI),
+        ("gpt-4o linking", GPT_4O),
+    ):
+        report = evaluate_system(
+            lambda db, ks, model=linking_model: GenEditPipeline(
+                db, ks, llm=SimulatedLLM(linking_model=model)
+            ),
+            context.workload,
+            context.profiles,
+            context.knowledge_sets,
+            label,
+        )
+        reports[label] = report
+        questions = len(report.outcomes)
+        rows.append(
+            (
+                label,
+                report.accuracy(),
+                report.total_cost_usd,
+                sum(o.latency_ms for o in report.outcomes) / questions / 1000,
+            )
+        )
+    table = format_table(
+        "Model selection (§3.3.3): schema-linking model choice",
+        ["Configuration", "EX", "Total cost ($)", "Latency/question (s)"],
+        rows,
+    )
+    if verbose:
+        print(table)
+    return reports
+
+
+def retrieval_ablation(context=None, verbose=True):
+    """Design-choice ablations: compounding retrieval (§3.1.1).
+
+    Beyond Table 2, DESIGN.md calls out two GenEdit-specific retrieval
+    design choices — intent-keyed candidate pools and context expansion
+    (re-ranking each component with the previous component's selections).
+    This experiment switches each off independently.
+    """
+    from dataclasses import replace as _replace
+
+    context = context or ExperimentContext()
+    variants = (
+        ("GenEdit (full)", {}),
+        ("w/o Context Expansion", {"use_context_expansion": False}),
+        ("w/o Intent Classification", {"use_intent_classification": False}),
+        ("flat retrieval (w/o both)", {
+            "use_context_expansion": False,
+            "use_intent_classification": False,
+        }),
+    )
+    reports = []
+    for label, overrides in variants:
+        config = _replace(DEFAULT_CONFIG, **overrides)
+        reports.append(
+            run_genedit(context, config=config, system_name=label)
+        )
+    rows = [(report.system, *report.row()) for report in reports]
+    table = format_table(
+        "Compounding-retrieval design ablations (§3.1.1)",
+        ["Variant", "Simple", "Moderate", "Challenging", "All"],
+        rows,
+    )
+    if verbose:
+        print(table)
+    return reports
+
+
+def feedback_metrics(verbose=True, seed=DEFAULT_SEED):
+    """§4.2.3: edits-recommendation acceptance metrics."""
+    from .feedback_sim import simulate_feedback_sessions
+
+    summary = simulate_feedback_sessions(seed=seed)
+    rows = [
+        ("sessions", summary.sessions),
+        ("edits recommended", summary.recommended),
+        ("accepted as-is", summary.accepted_as_is),
+        ("accepted after iteration", summary.accepted_after_iteration),
+        ("rejected", summary.rejected),
+        ("fixed generations", summary.fixed),
+    ]
+    table = format_table(
+        "Feedback metrics (§4.2.3)", ["Metric", "Value"], rows
+    )
+    if verbose:
+        print(table)
+    return summary
+
+
+def main(argv=None):
+    argv = argv if argv is not None else sys.argv[1:]
+    target = argv[0] if argv else "all"
+    context = ExperimentContext()
+    if target in ("table1", "all"):
+        table1(context)
+        print()
+    if target in ("table2", "all"):
+        table2(context)
+        print()
+    if target in ("crossover", "all"):
+        crossover(context)
+        print()
+    if target in ("models", "all"):
+        model_selection(context)
+        print()
+    if target in ("retrieval", "all"):
+        retrieval_ablation(context)
+        print()
+    if target in ("feedback", "all"):
+        feedback_metrics()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Evaluation metrics: Execution Accuracy (EX), per the BIRD protocol.
+
+A prediction is correct when executing it returns exactly the same multiset
+of rows as executing the gold SQL (column order respected, row order
+ignored, ints and equal-valued floats unified) — §3.3.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.errors import ExecutionError
+from ..engine.executor import Executor
+from ..sql.errors import SqlError
+
+
+def execution_match(database, predicted_sql, gold_sql):
+    """True when ``predicted_sql`` and ``gold_sql`` agree on ``database``."""
+    executor = Executor(database)
+    try:
+        gold = executor.execute(gold_sql)
+    except (SqlError, ExecutionError) as error:  # pragma: no cover - gold must run
+        raise AssertionError(f"Gold SQL failed: {error}\n{gold_sql}") from error
+    if not predicted_sql:
+        return False
+    try:
+        predicted = executor.execute(predicted_sql)
+    except (SqlError, ExecutionError):
+        return False
+    return predicted.comparable() == gold.comparable()
+
+
+@dataclass
+class QuestionOutcome:
+    """Evaluation record for one question."""
+
+    question_id: str
+    difficulty: str
+    database: str
+    correct: bool
+    predicted_sql: str
+    gold_sql: str
+    features: tuple = ()
+    issues: tuple = ()
+    cost_usd: float = 0.0
+    latency_ms: float = 0.0
+
+
+@dataclass
+class EvaluationReport:
+    """Aggregated EX per difficulty bucket (the shape of Tables 1 and 2)."""
+
+    system: str
+    outcomes: list = field(default_factory=list)
+
+    def add(self, outcome):
+        self.outcomes.append(outcome)
+
+    def _bucket(self, difficulty=None):
+        if difficulty is None:
+            return self.outcomes
+        return [
+            outcome for outcome in self.outcomes
+            if outcome.difficulty == difficulty
+        ]
+
+    def accuracy(self, difficulty=None):
+        bucket = self._bucket(difficulty)
+        if not bucket:
+            return 0.0
+        return 100.0 * sum(outcome.correct for outcome in bucket) / len(bucket)
+
+    def counts(self, difficulty=None):
+        bucket = self._bucket(difficulty)
+        return sum(outcome.correct for outcome in bucket), len(bucket)
+
+    @property
+    def total_cost_usd(self):
+        return sum(outcome.cost_usd for outcome in self.outcomes)
+
+    def row(self):
+        """(simple, moderate, challenging, all) EX percentages."""
+        return (
+            self.accuracy("simple"),
+            self.accuracy("moderate"),
+            self.accuracy("challenging"),
+            self.accuracy(),
+        )
+
+    def failures(self, difficulty=None):
+        return [
+            outcome for outcome in self._bucket(difficulty)
+            if not outcome.correct
+        ]

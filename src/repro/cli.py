@@ -1,0 +1,222 @@
+"""Command-line interface: the analytics-engine veneer around GenEdit.
+
+The paper notes Text-to-SQL "is not a standalone product and instead ships
+within an analytics engine" (§1, §4.2). This CLI is that thin engine:
+
+    python -m repro ask sports_holdings "How many organisations are in Canada?"
+    python -m repro ask sports_holdings "..." --trace --plan
+    python -m repro solve sports_holdings          # interactive feedback REPL
+    python -m repro knowledge sports_holdings      # knowledge-set overview
+    python -m repro bench table1                   # experiment harness
+
+Databases are the six benchmark profiles; their knowledge sets are mined
+on first use from the benchmark's training logs and documents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.bird import build_knowledge_sets, build_workload
+from .bench.schemas import DATABASE_NAMES, build_all
+from .feedback.models import SUBMISSION_PENDING_APPROVAL
+from .feedback.regression import GoldenQuery
+from .feedback.solver import FeedbackSolver
+from .knowledge.library import KnowledgeLibrary
+from .knowledge.versioning import KnowledgeSetHistory
+from .pipeline.pipeline import GenEditPipeline
+from .sql import format_sql, parse
+
+
+def _load(database_name, seed=7):
+    if database_name not in DATABASE_NAMES:
+        raise SystemExit(
+            f"Unknown database {database_name!r}; "
+            f"choose from: {', '.join(DATABASE_NAMES)}"
+        )
+    profiles = build_all(seed)
+    workload = build_workload(seed)
+    knowledge = build_knowledge_sets(workload, seed)[database_name]
+    return profiles[database_name], workload, knowledge
+
+
+def _print_result(pipeline, result, show_trace=False, show_plan=False,
+                  out=sys.stdout):
+    if show_trace:
+        print("-- operator trace --", file=out)
+        for event in result.trace:
+            print("  ", event, file=out)
+    if show_plan and result.plan is not None:
+        print("-- plan --", file=out)
+        print(result.plan.render(), file=out)
+    print("-- SQL --", file=out)
+    try:
+        print(format_sql(parse(result.sql)), file=out)
+    except Exception:
+        print(result.sql, file=out)
+    if result.success:
+        table = pipeline.execute(result.sql)
+        print("-- result --", file=out)
+        print(" | ".join(table.columns), file=out)
+        for row in table.rows[:20]:
+            print(" | ".join(str(value) for value in row), file=out)
+        if len(table.rows) > 20:
+            print(f"... ({len(table.rows)} rows total)", file=out)
+    else:
+        print(f"-- failed: {result.error}", file=out)
+
+
+def cmd_ask(args, out=sys.stdout):
+    profile, _workload, knowledge = _load(args.database, args.seed)
+    pipeline = GenEditPipeline(profile.database, knowledge)
+    result = pipeline.generate(args.question)
+    _print_result(pipeline, result, args.trace, args.plan, out=out)
+    if getattr(args, "explain", False) and result.success:
+        from .engine.explain import explain
+
+        print("-- logical plan --", file=out)
+        print(explain(result.sql), file=out)
+    return 0 if result.success else 1
+
+
+def cmd_knowledge(args, out=sys.stdout):
+    _profile, _workload, knowledge = _load(args.database, args.seed)
+    stats = knowledge.stats()
+    print(f"Knowledge set for {args.database}:", file=out)
+    for kind, count in stats.items():
+        print(f"  {kind}: {count}", file=out)
+    print("\nIntents:", file=out)
+    for intent in knowledge.intents():
+        print(f"  {intent.intent_id}: {intent.name}", file=out)
+    print("\nTerm definitions:", file=out)
+    for term, instruction in sorted(knowledge.term_definitions().items()):
+        print(f"  {instruction.term}: {instruction.text[:70]}", file=out)
+    return 0
+
+
+def cmd_solve(args, out=sys.stdout, input_fn=input):
+    """Interactive feedback REPL (the Feedback Solver, §4.2.1)."""
+    profile, workload, knowledge = _load(args.database, args.seed)
+    knowledge = knowledge.clone()
+    history = KnowledgeSetHistory(knowledge)
+    from .feedback.review import ApprovalQueue
+
+    queue = ApprovalQueue(knowledge, history)
+    pipeline = GenEditPipeline(profile.database, knowledge)
+    golden = [
+        GoldenQuery(entry.question, entry.sql)
+        for entry in workload.training_logs[args.database][:4]
+    ]
+    solver = FeedbackSolver(pipeline, golden_queries=golden,
+                            approval_queue=queue)
+    print(
+        "Feedback Solver. Commands: ask <question> | feedback <text> | "
+        "stage | regen | submit | approve | library | quit",
+        file=out,
+    )
+    while True:
+        try:
+            line = input_fn("> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if not line:
+            continue
+        command, _, rest = line.partition(" ")
+        command = command.lower()
+        if command in ("quit", "exit"):
+            break
+        try:
+            if command == "ask":
+                result = solver.ask(rest)
+                _print_result(pipeline, result, out=out)
+            elif command == "feedback":
+                for edit in solver.give_feedback(rest):
+                    print("  recommended:", edit.describe(), file=out)
+            elif command == "stage":
+                staged = solver.stage()
+                print(f"  staged {len(staged)} edit(s)", file=out)
+            elif command == "regen":
+                result = solver.regenerate()
+                _print_result(pipeline, result, out=out)
+            elif command == "submit":
+                submission = solver.submit()
+                print("  regression:",
+                      submission.regression_report.summary(), file=out)
+                print("  status:", submission.status, file=out)
+            elif command == "approve":
+                pending = queue.pending()
+                if not pending:
+                    print("  nothing pending", file=out)
+                else:
+                    queue.approve(pending[0])
+                    print("  merged", file=out)
+            elif command == "library":
+                library = KnowledgeLibrary(knowledge, history)
+                overview = library.overview()
+                print("  stats:", overview["stats"], file=out)
+                for record in overview["recent_edits"]:
+                    print(f"  [{record.timestamp}] {record.action} "
+                          f"{record.component_id}: {record.summary}",
+                          file=out)
+            else:
+                print(f"  unknown command {command!r}", file=out)
+        except Exception as error:  # REPL resilience
+            print(f"  error: {error}", file=out)
+    return 0
+
+
+def cmd_bench(args, out=sys.stdout):
+    from .bench.harness import main as harness_main
+
+    return harness_main([args.experiment])
+
+
+def build_arg_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GenEdit reproduction: enterprise Text-to-SQL.",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ask = commands.add_parser("ask", help="generate SQL for a question")
+    ask.add_argument("database", help=f"one of: {', '.join(DATABASE_NAMES)}")
+    ask.add_argument("question")
+    ask.add_argument("--trace", action="store_true",
+                     help="print the operator trace")
+    ask.add_argument("--plan", action="store_true",
+                     help="print the CoT plan")
+    ask.add_argument("--explain", action="store_true",
+                     help="print the engine's logical plan for the SQL")
+    ask.set_defaults(func=cmd_ask)
+
+    knowledge = commands.add_parser(
+        "knowledge", help="show a database's knowledge set"
+    )
+    knowledge.add_argument("database")
+    knowledge.set_defaults(func=cmd_knowledge)
+
+    solve = commands.add_parser(
+        "solve", help="interactive feedback solver session"
+    )
+    solve.add_argument("database")
+    solve.set_defaults(func=cmd_solve)
+
+    bench = commands.add_parser("bench", help="run a paper experiment")
+    bench.add_argument(
+        "experiment",
+        choices=["table1", "table2", "crossover", "models", "retrieval", "feedback", "all"],
+    )
+    bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv=None):
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

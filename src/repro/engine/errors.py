@@ -1,0 +1,36 @@
+"""Errors raised by the execution engine.
+
+Engine errors are *semantic* from the pipeline's point of view: a query that
+parses but fails here (unknown column, type mismatch, bad aggregate use) is
+fed to the self-correction operator with the error message as context, which
+is exactly how the paper's inference phase handles "syntactic and semantic
+errors" before regeneration.
+"""
+
+from __future__ import annotations
+
+from ..sql.errors import SqlError
+
+
+class ExecutionError(SqlError):
+    """Base class for runtime errors during query execution."""
+
+
+class UnknownTableError(ExecutionError):
+    """Referenced table/CTE is not in the catalog or CTE scope."""
+
+
+class UnknownColumnError(ExecutionError):
+    """A column reference cannot be resolved against visible relations."""
+
+
+class AmbiguousColumnError(ExecutionError):
+    """An unqualified column name resolves against multiple relations."""
+
+
+class TypeMismatchError(ExecutionError):
+    """An operator or function received incompatible value types."""
+
+
+class UnknownFunctionError(ExecutionError):
+    """No scalar, aggregate, or window function with that name exists."""

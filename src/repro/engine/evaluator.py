@@ -1,0 +1,362 @@
+"""Expression evaluation over row environments.
+
+The evaluator turns an expression AST into a value given an
+:class:`Environment` — the set of relation bindings visible to the current
+row, chained to outer environments so correlated subqueries resolve outer
+columns. Aggregate context (a group of rows) and pre-computed window values
+ride along on the environment.
+
+Subquery execution is delegated back to the executor through a callback so
+this module stays free of relational logic.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..sql import ast_nodes as ast
+from .aggregates import compute_aggregate, is_aggregate_function
+from .errors import (
+    AmbiguousColumnError,
+    ExecutionError,
+    TypeMismatchError,
+    UnknownColumnError,
+    UnknownFunctionError,
+)
+from .functions import call_scalar, is_scalar_function
+from .values import (
+    arithmetic,
+    cast_value,
+    compare,
+    equals,
+    is_true,
+    logical_and,
+    logical_not,
+    logical_or,
+)
+
+
+class Environment:
+    """Visible relation bindings for one logical row.
+
+    ``bindings`` maps binding name (upper-case) to a column→value dict.
+    ``parent`` is the enclosing query's environment for correlated lookups.
+    ``group_rows`` is set when this environment represents a whole group
+    (aggregate evaluation); ``window_values`` maps a WindowFunction node id
+    to that row's pre-computed window result.
+    """
+
+    __slots__ = ("bindings", "parent", "group_rows", "window_values")
+
+    def __init__(self, bindings=None, parent=None):
+        self.bindings = bindings or {}
+        self.parent = parent
+        self.group_rows = None
+        self.window_values = None
+
+    def child(self, bindings):
+        return Environment(bindings, parent=self)
+
+    def lookup(self, table, name):
+        """Resolve a column reference; falls through to outer environments."""
+        upper_name = name.upper()
+        if table is not None:
+            upper_table = table.upper()
+            environment = self
+            while environment is not None:
+                row = environment.bindings.get(upper_table)
+                if row is not None:
+                    if upper_name in row:
+                        return row[upper_name]
+                    raise UnknownColumnError(
+                        f"Relation {table!r} has no column {name!r}"
+                    )
+                environment = environment.parent
+            raise UnknownColumnError(f"Unknown relation {table!r}")
+        environment = self
+        while environment is not None:
+            matches = [
+                row[upper_name]
+                for row in environment.bindings.values()
+                if upper_name in row
+            ]
+            if len(matches) == 1:
+                return matches[0]
+            if len(matches) > 1:
+                raise AmbiguousColumnError(
+                    f"Column reference {name!r} is ambiguous"
+                )
+            environment = environment.parent
+        raise UnknownColumnError(f"Unknown column {name!r}")
+
+    def has_column(self, table, name):
+        try:
+            self.lookup(table, name)
+        except (UnknownColumnError, AmbiguousColumnError):
+            return False
+        return True
+
+
+class Evaluator:
+    """Evaluates expression ASTs. ``run_subquery(query, env)`` executes a
+    nested query and returns a Result (injected by the executor)."""
+
+    def __init__(self, run_subquery):
+        self._run_subquery = run_subquery
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate(self, node, env):
+        method = self._DISPATCH.get(type(node))
+        if method is None:
+            raise ExecutionError(
+                f"Cannot evaluate node {type(node).__name__}"
+            )
+        return method(self, node, env)
+
+    def evaluate_predicate(self, node, env):
+        """Evaluate as a WHERE/HAVING predicate (NULL rejects the row)."""
+        return is_true(self.evaluate(node, env))
+
+    # -- leaves ----------------------------------------------------------------
+
+    def _literal(self, node, env):
+        return node.value
+
+    def _column(self, node, env):
+        return env.lookup(node.table, node.name)
+
+    def _star(self, node, env):
+        raise ExecutionError("'*' is only valid in a select list or COUNT(*)")
+
+    # -- operators -------------------------------------------------------------
+
+    def _unary(self, node, env):
+        if node.op == "NOT":
+            return logical_not(self.evaluate(node.operand, env))
+        value = self.evaluate(node.operand, env)
+        if value is None:
+            return None
+        if node.op == "-":
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, (int, float)):
+                raise TypeMismatchError(f"Cannot negate {value!r}")
+            return -value
+        return value  # unary plus
+
+    _COMPARISONS = {
+        "=": lambda ordering: ordering == 0,
+        "<>": lambda ordering: ordering != 0,
+        "<": lambda ordering: ordering < 0,
+        ">": lambda ordering: ordering > 0,
+        "<=": lambda ordering: ordering <= 0,
+        ">=": lambda ordering: ordering >= 0,
+    }
+
+    def _binary(self, node, env):
+        if node.op == "AND":
+            left = self.evaluate(node.left, env)
+            if left is False:
+                return False
+            return logical_and(left, self.evaluate(node.right, env))
+        if node.op == "OR":
+            left = self.evaluate(node.left, env)
+            if left is True:
+                return True
+            return logical_or(left, self.evaluate(node.right, env))
+        left = self.evaluate(node.left, env)
+        right = self.evaluate(node.right, env)
+        check = self._COMPARISONS.get(node.op)
+        if check is not None:
+            ordering = compare(left, right)
+            if ordering is None:
+                return None
+            return check(ordering)
+        return arithmetic(node.op, left, right)
+
+    # -- functions ----------------------------------------------------------------
+
+    def _call(self, node, env):
+        name = node.name.upper()
+        if is_aggregate_function(name):
+            return self._aggregate(node, env)
+        if is_scalar_function(name):
+            args = [self.evaluate(arg, env) for arg in node.args]
+            return call_scalar(name, args)
+        raise UnknownFunctionError(f"Unknown function {node.name!r}")
+
+    def _aggregate(self, node, env):
+        group_rows = env.group_rows
+        if group_rows is None:
+            raise ExecutionError(
+                f"Aggregate {node.name} used outside GROUP BY context"
+            )
+        count_star = bool(node.args) and isinstance(node.args[0], ast.Star)
+        if count_star or not node.args:
+            values = [None] * len(group_rows)
+            return compute_aggregate(
+                node.name, values, distinct=node.distinct, count_star=True
+            )
+        values = [
+            self.evaluate(node.args[0], row_env) for row_env in group_rows
+        ]
+        return compute_aggregate(
+            node.name, values, distinct=node.distinct, count_star=False
+        )
+
+    def _window(self, node, env):
+        if env.window_values is None or id(node) not in env.window_values:
+            raise ExecutionError(
+                "Window function evaluated without window context"
+            )
+        return env.window_values[id(node)]
+
+    # -- compound expressions --------------------------------------------------
+
+    def _case(self, node, env):
+        if node.operand is not None:
+            operand = self.evaluate(node.operand, env)
+            for condition, result in node.whens:
+                if is_true(equals(operand, self.evaluate(condition, env))):
+                    return self.evaluate(result, env)
+        else:
+            for condition, result in node.whens:
+                if self.evaluate_predicate(condition, env):
+                    return self.evaluate(result, env)
+        if node.default is not None:
+            return self.evaluate(node.default, env)
+        return None
+
+    def _cast(self, node, env):
+        return cast_value(self.evaluate(node.expr, env), node.target_type)
+
+    def _in_list(self, node, env):
+        needle = self.evaluate(node.expr, env)
+        if needle is None:
+            return None
+        saw_null = False
+        for item in node.items:
+            value = self.evaluate(item, env)
+            verdict = equals(needle, value)
+            if verdict is True:
+                return not node.negated if node.negated else True
+            if verdict is None:
+                saw_null = True
+        if node.negated:
+            return None if saw_null else True
+        return None if saw_null else False
+
+    def _in_subquery(self, node, env):
+        needle = self.evaluate(node.expr, env)
+        if needle is None:
+            return None
+        result = self._run_subquery(node.query, env)
+        if result.columns and len(result.columns) != 1:
+            raise ExecutionError("IN subquery must return one column")
+        saw_null = False
+        for row in result.rows:
+            verdict = equals(needle, row[0])
+            if verdict is True:
+                return False if node.negated else True
+            if verdict is None:
+                saw_null = True
+        if saw_null:
+            return None
+        return True if node.negated else False
+
+    def _between(self, node, env):
+        value = self.evaluate(node.expr, env)
+        low = self.evaluate(node.low, env)
+        high = self.evaluate(node.high, env)
+        lower_check = compare(value, low)
+        upper_check = compare(value, high)
+        if lower_check is None or upper_check is None:
+            return None
+        inside = lower_check >= 0 and upper_check <= 0
+        return not inside if node.negated else inside
+
+    def _like(self, node, env):
+        value = self.evaluate(node.expr, env)
+        pattern = self.evaluate(node.pattern, env)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise TypeMismatchError("LIKE expects text operands")
+        matched = _like_match(value, pattern)
+        return not matched if node.negated else matched
+
+    def _is_null(self, node, env):
+        value = self.evaluate(node.expr, env)
+        verdict = value is None
+        return not verdict if node.negated else verdict
+
+    def _exists(self, node, env):
+        result = self._run_subquery(node.query, env)
+        verdict = bool(result.rows)
+        return not verdict if node.negated else verdict
+
+    def _scalar_subquery(self, node, env):
+        result = self._run_subquery(node.query, env)
+        if not result.rows:
+            return None
+        if len(result.rows) > 1:
+            raise ExecutionError("Scalar subquery returned more than one row")
+        if len(result.rows[0]) != 1:
+            raise ExecutionError("Scalar subquery must return one column")
+        return result.rows[0][0]
+
+    _DISPATCH = {
+        ast.Literal: _literal,
+        ast.ColumnRef: _column,
+        ast.Star: _star,
+        ast.UnaryOp: _unary,
+        ast.BinaryOp: _binary,
+        ast.FunctionCall: _call,
+        ast.WindowFunction: _window,
+        ast.CaseExpression: _case,
+        ast.Cast: _cast,
+        ast.InList: _in_list,
+        ast.InSubquery: _in_subquery,
+        ast.Between: _between,
+        ast.Like: _like,
+        ast.IsNull: _is_null,
+        ast.Exists: _exists,
+        ast.ScalarSubquery: _scalar_subquery,
+    }
+
+
+def _like_match(value, pattern):
+    regex = "".join(
+        ".*" if char == "%" else "." if char == "_" else re.escape(char)
+        for char in pattern
+    )
+    return re.fullmatch(regex, value, flags=re.IGNORECASE) is not None
+
+
+def contains_aggregate(node):
+    """True when ``node`` contains an aggregate call outside any window."""
+    if isinstance(node, ast.WindowFunction):
+        # Aggregates inside the OVER() arguments are window-level, but the
+        # partition/order expressions may still reference group aggregates.
+        return any(
+            contains_aggregate(child) for child in node.window.children()
+        ) or any(contains_aggregate(arg) for arg in node.function.args)
+    if isinstance(node, ast.FunctionCall) and is_aggregate_function(node.name):
+        return True
+    if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+        return False  # subqueries have their own aggregate scope
+    return any(contains_aggregate(child) for child in node.children())
+
+
+def find_window_functions(node):
+    """Collect every WindowFunction node (without descending into subqueries)."""
+    found = []
+    if isinstance(node, ast.WindowFunction):
+        found.append(node)
+        return found
+    if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+        return found
+    for child in node.children():
+        found.extend(find_window_functions(child))
+    return found

@@ -1,0 +1,131 @@
+"""EXPLAIN: a logical plan description for a query.
+
+:func:`explain` renders the steps the executor will take — CTE
+materialisation, scans, joins, filters, grouping, windows, projection,
+ordering — as an indented plan tree. The CLI exposes it as
+``python -m repro ask ... --explain``; it is also handy in tests and when
+debugging generated SQL.
+"""
+
+from __future__ import annotations
+
+from ..sql import ast_nodes as ast
+from ..sql.parser import parse
+from ..sql.printer import to_sql
+
+
+def explain(query):
+    """Return the logical plan of ``query`` (SQL text or parsed Query)."""
+    if isinstance(query, str):
+        query = parse(query)
+    lines = []
+    for cte in query.ctes:
+        lines.append(f"MATERIALIZE CTE {cte.name}")
+        lines.extend(_indent(_explain_query(cte.query)))
+    lines.extend(_explain_body(query.body))
+    return "\n".join(lines)
+
+
+def _explain_query(query):
+    lines = []
+    for cte in query.ctes:
+        lines.append(f"MATERIALIZE CTE {cte.name}")
+        lines.extend(_indent(_explain_query(cte.query)))
+    lines.extend(_explain_body(query.body))
+    return lines
+
+
+def _explain_body(body):
+    if isinstance(body, ast.SetOperation):
+        keyword = body.op + (" ALL" if body.all else "")
+        lines = [keyword]
+        lines.extend(_indent(_explain_body(body.left)))
+        lines.extend(_indent(_explain_body(body.right)))
+        if body.order_by:
+            lines.append(
+                "SORT "
+                + ", ".join(to_sql(item) for item in body.order_by)
+            )
+        if body.limit is not None:
+            lines.append(f"LIMIT {body.limit}")
+        return lines
+    return _explain_select(body)
+
+
+def _explain_select(select):
+    # Build bottom-up then reverse into execution order.
+    stages = []
+    if select.from_clause is not None:
+        stages.extend(_explain_from(select.from_clause))
+    else:
+        stages.append("CONSTANT ROW")
+    if select.where is not None:
+        stages.append(f"FILTER {to_sql(select.where)}")
+    grouped = bool(select.group_by) or _has_aggregate_items(select)
+    if grouped:
+        if select.group_by:
+            keys = ", ".join(to_sql(expr) for expr in select.group_by)
+            stages.append(f"GROUP BY {keys}")
+        else:
+            stages.append("AGGREGATE (single group)")
+    if select.having is not None:
+        stages.append(f"FILTER GROUPS {to_sql(select.having)}")
+    windows = _window_functions(select)
+    for window in windows:
+        stages.append(f"WINDOW {to_sql(window)}")
+    items = ", ".join(to_sql(item) for item in select.items)
+    stages.append(
+        ("PROJECT DISTINCT " if select.distinct else "PROJECT ") + items
+    )
+    if select.order_by:
+        stages.append(
+            "SORT " + ", ".join(to_sql(item) for item in select.order_by)
+        )
+    if select.limit is not None:
+        suffix = f" OFFSET {select.offset}" if select.offset else ""
+        stages.append(f"LIMIT {select.limit}{suffix}")
+    return stages
+
+
+def _explain_from(node):
+    if isinstance(node, ast.TableRef):
+        alias = f" AS {node.alias}" if node.alias else ""
+        return [f"SCAN {node.name}{alias}"]
+    if isinstance(node, ast.SubqueryRef):
+        lines = [f"DERIVED {node.alias}"]
+        lines.extend(_indent(_explain_query(node.query)))
+        return lines
+    if isinstance(node, ast.Join):
+        condition = (
+            f" ON {to_sql(node.condition)}" if node.condition else ""
+        )
+        lines = [f"{node.kind} JOIN{condition}"]
+        lines.extend(_indent(_explain_from(node.left)))
+        lines.extend(_indent(_explain_from(node.right)))
+        return lines
+    return [f"<{type(node).__name__}>"]
+
+
+def _has_aggregate_items(select):
+    from .evaluator import contains_aggregate
+
+    return any(
+        not isinstance(item.expr, ast.Star)
+        and contains_aggregate(item.expr)
+        for item in select.items
+    ) or (select.having is not None and contains_aggregate(select.having))
+
+
+def _window_functions(select):
+    from .evaluator import find_window_functions
+
+    found = []
+    for item in select.items:
+        found.extend(find_window_functions(item.expr))
+    for order_item in select.order_by:
+        found.extend(find_window_functions(order_item.expr))
+    return found
+
+
+def _indent(lines, prefix="  "):
+    return [prefix + line for line in lines]

@@ -1,0 +1,114 @@
+"""Window function evaluation.
+
+Supports the ranking functions enterprise warehouse queries lean on
+(``ROW_NUMBER``, ``RANK``, ``DENSE_RANK``, ``NTILE``) and whole-partition
+aggregates (``SUM/AVG/MIN/MAX/COUNT ... OVER (PARTITION BY ...)``), plus
+``LAG``/``LEAD``. Frames beyond the whole partition are not supported —
+nothing in the reproduction's workloads requires them.
+"""
+
+from __future__ import annotations
+
+from .aggregates import compute_aggregate, is_aggregate_function
+from .errors import UnknownFunctionError
+from .values import sort_key
+
+RANKING_FUNCTIONS = frozenset(
+    {"ROW_NUMBER", "RANK", "DENSE_RANK", "NTILE", "LAG", "LEAD"}
+)
+
+
+def is_window_capable(name):
+    """True when ``name`` may appear with an OVER clause."""
+    upper = name.upper()
+    return upper in RANKING_FUNCTIONS or is_aggregate_function(upper)
+
+
+def evaluate_window(name, rows, partition_keys, order_keys, arg_values,
+                    distinct=False, count_star=False):
+    """Evaluate one window function over ``rows``.
+
+    ``partition_keys[i]`` / ``order_keys[i]`` / ``arg_values[i]`` are the
+    pre-evaluated partition tuple, order tuple (already direction-encoded via
+    :func:`sort_key`), and argument list for row ``i``. Returns a list of
+    per-row results aligned with ``rows``.
+    """
+    upper = name.upper()
+    if not is_window_capable(upper):
+        raise UnknownFunctionError(f"{name!r} cannot be used as a window function")
+    results = [None] * len(rows)
+    partitions = {}
+    for index in range(len(rows)):
+        partitions.setdefault(partition_keys[index], []).append(index)
+    for indices in partitions.values():
+        ordered = sorted(indices, key=lambda i: order_keys[i])
+        if upper == "ROW_NUMBER":
+            for position, row_index in enumerate(ordered, start=1):
+                results[row_index] = position
+        elif upper in ("RANK", "DENSE_RANK"):
+            _rank(upper, ordered, order_keys, results)
+        elif upper == "NTILE":
+            _ntile(ordered, arg_values, results)
+        elif upper in ("LAG", "LEAD"):
+            _shift(upper, ordered, arg_values, results)
+        else:  # aggregate over the whole partition
+            values = [
+                arg_values[row_index][0] if arg_values[row_index] else None
+                for row_index in ordered
+            ]
+            value = compute_aggregate(
+                upper, values, distinct=distinct, count_star=count_star
+            )
+            for row_index in ordered:
+                results[row_index] = value
+    return results
+
+
+def _rank(kind, ordered, order_keys, results):
+    rank = 0
+    dense_rank = 0
+    previous_key = object()
+    for position, row_index in enumerate(ordered, start=1):
+        key = order_keys[row_index]
+        if key != previous_key:
+            rank = position
+            dense_rank += 1
+            previous_key = key
+        results[row_index] = rank if kind == "RANK" else dense_rank
+
+
+def _ntile(ordered, arg_values, results):
+    if not ordered:
+        return
+    buckets = int(arg_values[ordered[0]][0])
+    size = len(ordered)
+    base, remainder = divmod(size, buckets)
+    position = 0
+    for bucket in range(1, buckets + 1):
+        count = base + (1 if bucket <= remainder else 0)
+        for _ in range(count):
+            if position >= size:
+                return
+            results[ordered[position]] = bucket
+            position += 1
+
+
+def _shift(kind, ordered, arg_values, results):
+    offset_direction = -1 if kind == "LAG" else 1
+    for position, row_index in enumerate(ordered):
+        args = arg_values[row_index]
+        offset = int(args[1]) if len(args) > 1 and args[1] is not None else 1
+        default = args[2] if len(args) > 2 else None
+        source = position + offset * offset_direction
+        if 0 <= source < len(ordered):
+            results[row_index] = arg_values[ordered[source]][0]
+        else:
+            results[row_index] = default
+
+
+def order_key_tuple(values_and_directions):
+    """Build a composite ordering key from (value, ascending, nulls_first)."""
+    return tuple(
+        sort_key(value, ascending, nulls_first)
+        for value, ascending, nulls_first in values_and_directions
+    )

@@ -1,0 +1,63 @@
+"""Continuous improvement: feedback, edit recommendation, staging, review."""
+
+from .directives import PATTERN_FRAGMENTS, parse_directives
+from .edit_generation import generate_edits
+from .edit_planning import plan_edits
+from .expand import expand_feedback
+from .models import (
+    ACTION_DELETE,
+    ACTION_INSERT,
+    ACTION_UPDATE,
+    COMPONENT_EXAMPLE,
+    COMPONENT_INSTRUCTION,
+    EditPlanStep,
+    EditRecommendation,
+    EditTarget,
+    ExpandedFeedback,
+    Feedback,
+    STATUS_DISMISSED,
+    STATUS_RECOMMENDED,
+    STATUS_STAGED,
+    SUBMISSION_MERGED,
+    SUBMISSION_PENDING_APPROVAL,
+    SUBMISSION_PENDING_TESTS,
+    SUBMISSION_REJECTED,
+    Submission,
+)
+from .regression import GoldenQuery, RegressionReport, run_regression
+from .review import ApprovalQueue, apply_edit
+from .solver import FeedbackSolver
+from .targets import generate_targets
+
+__all__ = [
+    "ACTION_DELETE",
+    "ACTION_INSERT",
+    "ACTION_UPDATE",
+    "ApprovalQueue",
+    "COMPONENT_EXAMPLE",
+    "COMPONENT_INSTRUCTION",
+    "EditPlanStep",
+    "EditRecommendation",
+    "EditTarget",
+    "ExpandedFeedback",
+    "Feedback",
+    "FeedbackSolver",
+    "GoldenQuery",
+    "PATTERN_FRAGMENTS",
+    "RegressionReport",
+    "STATUS_DISMISSED",
+    "STATUS_RECOMMENDED",
+    "STATUS_STAGED",
+    "SUBMISSION_MERGED",
+    "SUBMISSION_PENDING_APPROVAL",
+    "SUBMISSION_PENDING_TESTS",
+    "SUBMISSION_REJECTED",
+    "Submission",
+    "apply_edit",
+    "expand_feedback",
+    "generate_edits",
+    "generate_targets",
+    "parse_directives",
+    "plan_edits",
+    "run_regression",
+]

@@ -1,0 +1,220 @@
+"""Structured reading of SME feedback text.
+
+SME feedback, while free-form, clusters around a handful of speech acts
+("X means Y", "X refers to column C", "use the both-ends ranking idiom",
+"that example is wrong"). :func:`parse_directives` extracts those acts as
+directive dicts; operator #3 plans from them and operator #4 materialises
+them into concrete edits. Unrecognised feedback falls back to a plain
+guideline insert, which is what a human reviewer would do with a vague
+comment.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .models import (
+    ACTION_DELETE,
+    ACTION_INSERT,
+    ACTION_UPDATE,
+    COMPONENT_EXAMPLE,
+    COMPONENT_INSTRUCTION,
+)
+
+_MEANS = re.compile(
+    r"'([^']+)'\s+means\s+(.+?)(?:\.|;|$)", re.IGNORECASE | re.DOTALL
+)
+_FILTER = re.compile(r"filter\s+(.+?)(?:\.|$)", re.IGNORECASE)
+_CALCULATED = re.compile(
+    r"(?:'([^']+)'|([\w -]+?))\s+should be calculated as\s+(.+?)(?:\.(?:\s|$)|$)",
+    re.IGNORECASE | re.DOTALL,
+)
+_REFERS = re.compile(
+    r"'([^']+)'\s+refers to the\s+(\w+)\s+column(?:\s+in(?:\s+the)?\s+(\w+))?",
+    re.IGNORECASE,
+)
+_VALUE_OF = re.compile(
+    r"'([^']+)'\s+is a value of\s+(\w+)\.(\w+)", re.IGNORECASE
+)
+_SAME_AS = re.compile(r"the same as\s+'?([\w %-]+?)'?\s*$", re.IGNORECASE)
+_USE_IDIOM = re.compile(
+    r"use the\s+([\w_ -]+?)\s+idiom(?:\s+like:\s*(.+))?$",
+    re.IGNORECASE | re.MULTILINE,
+)
+_DELETE = re.compile(r"delete\s+((?:ex|ins)-\d+)", re.IGNORECASE)
+_UPDATE_SQL = re.compile(
+    r"((?:ex|ins)-\d+)\s+should be\s+(.+?)(?:\.(?:\s|$)|$)",
+    re.IGNORECASE | re.DOTALL,
+)
+
+#: Canonical demonstration fragments for idiom-insert directives, keyed by
+#: the pattern tag the planner gates on.
+PATTERN_FRAGMENTS = {
+    "topk_both_ends": (
+        "ROW_NUMBER() OVER (ORDER BY METRIC_VALUE DESC) AS BEST_RANK, "
+        "ROW_NUMBER() OVER (ORDER BY METRIC_VALUE ASC) AS WORST_RANK"
+    ),
+    "share_of_total": (
+        "CAST(METRIC_VALUE AS FLOAT) / "
+        "NULLIF(SUM(METRIC_VALUE) OVER (), 0) AS SHARE"
+    ),
+    "quarter_pivot": (
+        "SUM(CASE WHEN TO_CHAR(DATE_COLUMN, 'YYYY\"Q\"Q') = '2023Q2' "
+        "THEN VALUE_COLUMN ELSE 0 END)"
+    ),
+    "safe_ratio": "CAST(NUMERATOR AS FLOAT) / NULLIF(DENOMINATOR, 0)",
+}
+
+_PATTERN_DESCRIPTIONS = {
+    "topk_both_ends": (
+        "Rank rows from both ends with two ROW_NUMBER windows and keep "
+        "rows where either rank is within k"
+    ),
+    "share_of_total": (
+        "Divide each group's metric by the grand total using a window sum"
+    ),
+    "quarter_pivot": (
+        "Pivot a value into per-quarter sums with conditional aggregation"
+    ),
+    "safe_ratio": "Divide two aggregates, guarding the denominator with NULLIF",
+}
+
+
+def parse_directives(text, knowledge):
+    """Extract structured directives from feedback text."""
+    directives = []
+    consumed_terms = set()
+
+    for match in _REFERS.finditer(text):
+        surface, column, table = match.groups()
+        consumed_terms.add(surface.lower())
+        directives.append(
+            {
+                "action": ACTION_INSERT,
+                "component": COMPONENT_INSTRUCTION,
+                "instruction_kind": "term_definition",
+                "term": surface,
+                "sql_pattern": f"COLUMN {(table or '').upper()}.{column.upper()}",
+                "text": (
+                    f"'{surface}' refers to the {column.upper()} column"
+                    + (f" in {table.upper()}" if table else "")
+                ),
+                "tables": (table.upper(),) if table else (),
+                "summary": f"map '{surface}' to column {column.upper()}",
+            }
+        )
+
+    for match in _VALUE_OF.finditer(text):
+        value, table, column = match.groups()
+        consumed_terms.add(value.lower())
+        directives.append(
+            {
+                "action": ACTION_INSERT,
+                "component": COMPONENT_INSTRUCTION,
+                "instruction_kind": "term_definition",
+                "term": value,
+                "sql_pattern": f"VALUE {table.upper()}.{column.upper()}",
+                "text": f"'{value}' is a value of {table.upper()}.{column.upper()}",
+                "tables": (table.upper(),),
+                "summary": f"map value '{value}' to {table.upper()}.{column.upper()}",
+            }
+        )
+
+    for match in _CALCULATED.finditer(text):
+        quoted, bare, sql = match.groups()
+        term = (quoted or bare or "").strip()
+        if not term or term.lower() in consumed_terms:
+            continue
+        consumed_terms.add(term.lower())
+        directives.append(
+            {
+                "action": ACTION_INSERT,
+                "component": COMPONENT_INSTRUCTION,
+                "instruction_kind": "term_definition",
+                "term": term,
+                "sql_pattern": sql.strip().rstrip("."),
+                "text": f"{term} should be calculated as {sql.strip()}",
+                "summary": f"define calculation of '{term}'",
+            }
+        )
+
+    for match in _MEANS.finditer(text):
+        term, definition = match.group(1), match.group(2).strip()
+        if term.lower() in consumed_terms:
+            continue
+        consumed_terms.add(term.lower())
+        directive = {
+            "action": ACTION_INSERT,
+            "component": COMPONENT_INSTRUCTION,
+            "term": term,
+            "text": f"'{term}' means {definition}",
+            "summary": f"define '{term}' as {definition[:50]}",
+        }
+        same_as = _SAME_AS.search(definition)
+        known = knowledge.term_definitions() if knowledge else {}
+        # The filter clause often follows the definition after ';'.
+        filter_match = _FILTER.search(text, match.start())
+        if same_as and same_as.group(1).lower() in known:
+            original = known[same_as.group(1).lower()]
+            directive["instruction_kind"] = "term_definition"
+            directive["sql_pattern"] = original.sql_pattern
+            directive["tables"] = tuple(original.tables)
+            directive["intent_ids"] = tuple(original.intent_ids)
+        elif filter_match:
+            directive["instruction_kind"] = "guideline"
+            directive["sql_pattern"] = filter_match.group(1).strip()
+        else:
+            directive["instruction_kind"] = "term_definition"
+            directive["sql_pattern"] = ""
+        directives.append(directive)
+
+    for match in _USE_IDIOM.finditer(text):
+        pattern = match.group(1).strip().lower().replace(" ", "_").replace("-", "_")
+        fragment = match.group(2)
+        if fragment is None:
+            fragment = PATTERN_FRAGMENTS.get(pattern, "")
+        if not fragment:
+            continue
+        directives.append(
+            {
+                "action": ACTION_INSERT,
+                "component": COMPONENT_EXAMPLE,
+                "pattern": pattern,
+                "sql": fragment.strip(),
+                "description": _PATTERN_DESCRIPTIONS.get(
+                    pattern, f"Demonstrates the {pattern} idiom"
+                ),
+                "summary": f"add a decomposed example for the {pattern} idiom",
+            }
+        )
+
+    for match in _UPDATE_SQL.finditer(text):
+        component_id, sql = match.groups()
+        directives.append(
+            {
+                "action": ACTION_UPDATE,
+                "component": (
+                    COMPONENT_EXAMPLE if component_id.startswith("ex")
+                    else COMPONENT_INSTRUCTION
+                ),
+                "component_id": component_id,
+                "sql": sql.strip(),
+                "summary": f"rewrite {component_id}",
+            }
+        )
+
+    for match in _DELETE.finditer(text):
+        component_id = match.group(1)
+        directives.append(
+            {
+                "action": ACTION_DELETE,
+                "component": (
+                    COMPONENT_EXAMPLE if component_id.startswith("ex")
+                    else COMPONENT_INSTRUCTION
+                ),
+                "component_id": component_id,
+                "summary": f"delete {component_id}",
+            }
+        )
+
+    return directives

@@ -1,0 +1,159 @@
+"""Feedback operator #4: Generate Edits (§4.1.iv).
+
+Materialises the edit plan's directives into fully-specified
+:class:`EditRecommendation` objects — complete Instruction or
+DecomposedExample payloads in the knowledge set's own representation
+("a full revised output in the relevant form").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..knowledge.models import (
+    DecomposedExample,
+    Instruction,
+    Provenance,
+    next_component_id,
+)
+from .models import (
+    ACTION_DELETE,
+    ACTION_INSERT,
+    ACTION_UPDATE,
+    COMPONENT_EXAMPLE,
+    COMPONENT_INSTRUCTION,
+    EditRecommendation,
+    next_edit_id,
+)
+
+
+def generate_edits(feedback, directives, knowledge, intent_ids=()):
+    """Return the concrete :class:`EditRecommendation` list for a plan."""
+    recommendations = []
+    for directive in directives:
+        action = directive.get("action", ACTION_INSERT)
+        kind = directive.get("component", COMPONENT_INSTRUCTION)
+        if action == ACTION_INSERT and kind == COMPONENT_INSTRUCTION:
+            recommendations.append(
+                _insert_instruction(feedback, directive, intent_ids)
+            )
+        elif action == ACTION_INSERT and kind == COMPONENT_EXAMPLE:
+            recommendations.append(
+                _insert_example(feedback, directive, intent_ids)
+            )
+        elif action == ACTION_UPDATE:
+            recommendation = _update_component(feedback, directive, knowledge)
+            if recommendation is not None:
+                recommendations.append(recommendation)
+        elif action == ACTION_DELETE:
+            recommendations.append(
+                EditRecommendation(
+                    edit_id=next_edit_id(),
+                    action=ACTION_DELETE,
+                    kind=kind,
+                    summary=directive.get("summary", "delete component"),
+                    target_component_id=directive.get("component_id", ""),
+                )
+            )
+    if not recommendations:
+        recommendations.append(_fallback_guideline(feedback, intent_ids))
+    return recommendations
+
+
+def _provenance(feedback):
+    return Provenance(
+        source_kind="feedback",
+        source_ref=feedback.feedback_id,
+        note=feedback.text[:120],
+    )
+
+
+def _insert_instruction(feedback, directive, intent_ids):
+    instruction = Instruction(
+        instruction_id=next_component_id("ins"),
+        text=directive.get("text", feedback.text.strip()),
+        kind=directive.get("instruction_kind", "guideline"),
+        term=directive.get("term", ""),
+        sql_pattern=directive.get("sql_pattern", ""),
+        intent_ids=tuple(directive.get("intent_ids", intent_ids)),
+        tables=tuple(directive.get("tables", ())),
+        provenance=_provenance(feedback),
+    )
+    return EditRecommendation(
+        edit_id=next_edit_id(),
+        action=ACTION_INSERT,
+        kind=COMPONENT_INSTRUCTION,
+        summary=directive.get("summary", instruction.text[:70]),
+        payload=instruction,
+    )
+
+
+def _insert_example(feedback, directive, intent_ids):
+    example = DecomposedExample(
+        example_id=next_component_id("ex"),
+        description=directive.get("description", feedback.text.strip()),
+        sql=directive.get("sql", ""),
+        kind=directive.get("fragment_kind", "select_item"),
+        pattern=directive.get("pattern", ""),
+        intent_ids=tuple(intent_ids),
+        provenance=_provenance(feedback),
+    )
+    return EditRecommendation(
+        edit_id=next_edit_id(),
+        action=ACTION_INSERT,
+        kind=COMPONENT_EXAMPLE,
+        summary=directive.get("summary", example.description[:70]),
+        payload=example,
+    )
+
+
+def _update_component(feedback, directive, knowledge):
+    component_id = directive.get("component_id", "")
+    example = knowledge.example(component_id)
+    if example is not None:
+        revised = dataclasses.replace(
+            example,
+            sql=directive.get("sql", example.sql),
+            provenance=_provenance(feedback),
+        )
+        return EditRecommendation(
+            edit_id=next_edit_id(),
+            action=ACTION_UPDATE,
+            kind=COMPONENT_EXAMPLE,
+            summary=directive.get("summary", f"update {component_id}"),
+            payload=revised,
+            target_component_id=component_id,
+        )
+    instruction = knowledge.instruction(component_id)
+    if instruction is not None:
+        revised = dataclasses.replace(
+            instruction,
+            sql_pattern=directive.get("sql", instruction.sql_pattern),
+            provenance=_provenance(feedback),
+        )
+        return EditRecommendation(
+            edit_id=next_edit_id(),
+            action=ACTION_UPDATE,
+            kind=COMPONENT_INSTRUCTION,
+            summary=directive.get("summary", f"update {component_id}"),
+            payload=revised,
+            target_component_id=component_id,
+        )
+    return None
+
+
+def _fallback_guideline(feedback, intent_ids):
+    instruction = Instruction(
+        instruction_id=next_component_id("ins"),
+        text=feedback.text.strip(),
+        kind="guideline",
+        intent_ids=tuple(intent_ids),
+        provenance=_provenance(feedback),
+    )
+    return EditRecommendation(
+        edit_id=next_edit_id(),
+        action=ACTION_INSERT,
+        kind=COMPONENT_INSTRUCTION,
+        summary=f"record feedback as guideline: {feedback.text[:60]}",
+        payload=instruction,
+    )

@@ -1,0 +1,40 @@
+"""Feedback operator #2: Expand Feedback (§4.1.ii).
+
+Expands the targets' relevance explanations into a root-cause analysis by
+combining the feedback text with the generation's own grounding issues —
+the planner records exactly which phrases it could not resolve, which is
+the signal an LLM would extract from the prompt/response pair.
+"""
+
+from __future__ import annotations
+
+from .models import ExpandedFeedback
+
+
+def expand_feedback(feedback, generation_result, targets):
+    """Return an :class:`ExpandedFeedback` with root causes."""
+    issues = []
+    if generation_result.plan is not None:
+        issues = list(generation_result.plan.issues)
+    gap_targets = [target for target in targets if not target.component_id]
+    summary_parts = [f"User feedback: {feedback.text.strip()}"]
+    if issues:
+        summary_parts.append(
+            "The generation itself reported unresolved context: "
+            + "; ".join(issues)
+        )
+    if gap_targets:
+        summary_parts.append(
+            "The knowledge set lacks entries for: "
+            + "; ".join(target.reason for target in gap_targets)
+        )
+    if not issues and not gap_targets:
+        summary_parts.append(
+            "Existing retrieved knowledge appears wrong rather than "
+            "missing; prefer updates over inserts."
+        )
+    return ExpandedFeedback(
+        summary=" ".join(summary_parts),
+        root_causes=issues,
+        targets=list(targets),
+    )

@@ -1,0 +1,112 @@
+"""Data model of the edits-recommendation module (§4).
+
+A :class:`Feedback` is the SME's free-text comment on one generation. The
+four recommendation operators turn it into :class:`EditRecommendation`
+objects — each a concrete insert/update/delete of a knowledge-set component
+— which the Feedback Solver stages, tests, and submits for approval.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_feedback_counter = itertools.count(1)
+_edit_counter = itertools.count(1)
+
+#: Edit actions.
+ACTION_INSERT = "insert"
+ACTION_UPDATE = "update"
+ACTION_DELETE = "delete"
+
+#: Component kinds an edit can touch.
+COMPONENT_EXAMPLE = "example"
+COMPONENT_INSTRUCTION = "instruction"
+
+#: Lifecycle of a recommendation within a session.
+STATUS_RECOMMENDED = "recommended"
+STATUS_STAGED = "staged"
+STATUS_DISMISSED = "dismissed"
+
+#: Lifecycle of a submission.
+SUBMISSION_PENDING_TESTS = "pending-regression"
+SUBMISSION_PENDING_APPROVAL = "pending-approval"
+SUBMISSION_REJECTED = "rejected"
+SUBMISSION_MERGED = "merged"
+
+
+def next_feedback_id():
+    return f"fb-{next(_feedback_counter):05d}"
+
+
+def next_edit_id():
+    return f"edit-{next(_edit_counter):05d}"
+
+
+@dataclass
+class Feedback:
+    """One piece of SME feedback on a generated query."""
+
+    feedback_id: str
+    question: str
+    generated_sql: str
+    text: str
+    author: str = "sme"
+
+
+@dataclass
+class EditTarget:
+    """Operator #1 output: a knowledge component the feedback points at.
+
+    ``component_id`` is empty when the feedback reveals *missing* knowledge
+    (the most common enterprise case: an undefined term or adjective).
+    """
+
+    kind: str                    # example / instruction
+    component_id: str = ""
+    reason: str = ""
+
+
+@dataclass
+class ExpandedFeedback:
+    """Operator #2 output: the elaborated root-cause explanation."""
+
+    summary: str
+    root_causes: list = field(default_factory=list)   # issue strings
+    targets: list = field(default_factory=list)       # EditTarget
+
+
+@dataclass
+class EditPlanStep:
+    """One step of operator #3's CoT edit plan."""
+
+    description: str
+    action: str
+    kind: str
+
+
+@dataclass
+class EditRecommendation:
+    """Operator #4 output: one fully-specified knowledge-set edit."""
+
+    edit_id: str
+    action: str                  # insert / update / delete
+    kind: str                    # example / instruction
+    summary: str
+    payload: object = None       # Instruction or DecomposedExample to write
+    target_component_id: str = ""
+    status: str = STATUS_RECOMMENDED
+
+    def describe(self):
+        return f"[{self.action} {self.kind}] {self.summary}"
+
+
+@dataclass
+class Submission:
+    """Staged edits submitted for regression testing and approval."""
+
+    feedback: Feedback
+    edits: list
+    status: str = SUBMISSION_PENDING_TESTS
+    regression_report: object = None
+    reviewer: str = ""

@@ -1,0 +1,88 @@
+"""Regression testing of staged knowledge-set edits (§4.2.1, §6).
+
+Submitted edits "go through regression testing. If they pass, they are
+pending for approval." The regression suite is a set of *golden queries* —
+questions with verified SQL — that must not get worse under the staged
+knowledge set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bench.metrics import execution_match
+from ..pipeline.pipeline import GenEditPipeline
+
+
+@dataclass(frozen=True)
+class GoldenQuery:
+    """A verified (question, SQL) pair used as a regression anchor."""
+
+    question: str
+    gold_sql: str
+    label: str = ""
+
+
+@dataclass
+class RegressionResult:
+    question: str
+    correct_before: bool
+    correct_after: bool
+
+    @property
+    def regressed(self):
+        return self.correct_before and not self.correct_after
+
+    @property
+    def improved(self):
+        return not self.correct_before and self.correct_after
+
+
+@dataclass
+class RegressionReport:
+    results: list = field(default_factory=list)
+
+    @property
+    def passed(self):
+        return not any(result.regressed for result in self.results)
+
+    @property
+    def regressions(self):
+        return [result for result in self.results if result.regressed]
+
+    @property
+    def improvements(self):
+        return [result for result in self.results if result.improved]
+
+    def summary(self):
+        total = len(self.results)
+        regressed = len(self.regressions)
+        improved = len(self.improvements)
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"{status}: {total} golden queries, {regressed} regression(s), "
+            f"{improved} improvement(s)"
+        )
+
+
+def run_regression(database, live_knowledge, staged_knowledge,
+                   golden_queries, config=None):
+    """Compare golden-query accuracy before/after the staged edits."""
+    before = GenEditPipeline(database, live_knowledge, config=config)
+    after = GenEditPipeline(database, staged_knowledge, config=config)
+    report = RegressionReport()
+    for golden in golden_queries:
+        result_before = before.generate(golden.question)
+        result_after = after.generate(golden.question)
+        report.results.append(
+            RegressionResult(
+                question=golden.question,
+                correct_before=execution_match(
+                    database, result_before.sql, golden.gold_sql
+                ),
+                correct_after=execution_match(
+                    database, result_after.sql, golden.gold_sql
+                ),
+            )
+        )
+    return report

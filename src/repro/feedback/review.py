@@ -1,0 +1,113 @@
+"""Human review and merge of submitted edits (§4.2).
+
+Staged edits that pass regression testing wait in an approval queue; an
+approver merges them into the live knowledge set (with history records and
+a checkpoint) or rejects them. All applied edits are auditable and
+revertible through the knowledge-set history.
+"""
+
+from __future__ import annotations
+
+from .models import (
+    ACTION_DELETE,
+    ACTION_INSERT,
+    ACTION_UPDATE,
+    COMPONENT_EXAMPLE,
+    SUBMISSION_MERGED,
+    SUBMISSION_PENDING_APPROVAL,
+    SUBMISSION_PENDING_TESTS,
+    SUBMISSION_REJECTED,
+)
+
+
+def apply_edit(knowledge, edit):
+    """Apply one edit recommendation to ``knowledge`` (staged or live)."""
+    if edit.action == ACTION_INSERT:
+        if edit.kind == COMPONENT_EXAMPLE:
+            knowledge.add_example(edit.payload)
+        else:
+            knowledge.add_instruction(edit.payload)
+    elif edit.action == ACTION_UPDATE:
+        if edit.kind == COMPONENT_EXAMPLE:
+            knowledge.update_example(edit.payload)
+        else:
+            knowledge.update_instruction(edit.payload)
+    elif edit.action == ACTION_DELETE:
+        if edit.kind == COMPONENT_EXAMPLE:
+            knowledge.delete_example(edit.target_component_id)
+        else:
+            knowledge.delete_instruction(edit.target_component_id)
+    else:
+        raise ValueError(f"Unknown edit action {edit.action!r}")
+
+
+def _component_id(edit):
+    if edit.payload is not None:
+        return getattr(
+            edit.payload, "instruction_id",
+            getattr(edit.payload, "example_id", ""),
+        )
+    return edit.target_component_id
+
+
+class ApprovalQueue:
+    """Pending submissions awaiting a human decision."""
+
+    def __init__(self, knowledge, history=None):
+        self.knowledge = knowledge
+        self.history = history
+        self._pending = []
+        self._decided = []
+
+    def enqueue(self, submission):
+        if submission.status != SUBMISSION_PENDING_TESTS:
+            raise ValueError("Submission must come straight from testing")
+        if submission.regression_report is None or (
+            not submission.regression_report.passed
+        ):
+            submission.status = SUBMISSION_REJECTED
+            self._decided.append(submission)
+            return submission
+        submission.status = SUBMISSION_PENDING_APPROVAL
+        self._pending.append(submission)
+        return submission
+
+    def pending(self):
+        return list(self._pending)
+
+    def approve(self, submission, reviewer="approver"):
+        """Merge a submission's edits into the live knowledge set."""
+        if submission not in self._pending:
+            raise ValueError("Submission is not pending approval")
+        for edit in submission.edits:
+            apply_edit(self.knowledge, edit)
+            if self.history is not None:
+                self.history.record(
+                    edit.action,
+                    edit.kind,
+                    _component_id(edit),
+                    edit.summary,
+                    feedback_id=submission.feedback.feedback_id,
+                    author=reviewer,
+                )
+        if self.history is not None:
+            self.history.checkpoint(
+                f"merged feedback {submission.feedback.feedback_id}"
+            )
+        submission.status = SUBMISSION_MERGED
+        submission.reviewer = reviewer
+        self._pending.remove(submission)
+        self._decided.append(submission)
+        return submission
+
+    def reject(self, submission, reviewer="approver"):
+        if submission not in self._pending:
+            raise ValueError("Submission is not pending approval")
+        submission.status = SUBMISSION_REJECTED
+        submission.reviewer = reviewer
+        self._pending.remove(submission)
+        self._decided.append(submission)
+        return submission
+
+    def decided(self):
+        return list(self._decided)

@@ -1,0 +1,163 @@
+"""The Feedback Solver: the interactive session behind Fig. 3 (§4.2.1).
+
+The programmatic equivalent of the paper's UI flow: ask a question, inspect
+the generated SQL, give free-text feedback, review the recommended edits,
+stage a subset, regenerate against a staging environment that mimics the
+deployed system, iterate, then submit — triggering regression tests and the
+approval queue.
+"""
+
+from __future__ import annotations
+
+from ..pipeline.pipeline import GenEditPipeline
+from .edit_generation import generate_edits
+from .edit_planning import plan_edits
+from .expand import expand_feedback
+from .models import (
+    Feedback,
+    STATUS_DISMISSED,
+    STATUS_RECOMMENDED,
+    STATUS_STAGED,
+    SUBMISSION_PENDING_TESTS,
+    Submission,
+    next_feedback_id,
+)
+from .regression import run_regression
+from .review import apply_edit
+from .targets import generate_targets
+
+
+class FeedbackSolver:
+    """One SME session over a deployed pipeline."""
+
+    def __init__(self, pipeline: GenEditPipeline, golden_queries=(),
+                 approval_queue=None, author="sme"):
+        self.pipeline = pipeline
+        self.golden_queries = list(golden_queries)
+        self.approval_queue = approval_queue
+        self.author = author
+        self.question = ""
+        self.result = None
+        self.feedback = None
+        self.recommendations = []
+        self._staged_ids = []
+        self._iterations = 0
+
+    # -- generation ----------------------------------------------------------
+
+    def ask(self, question):
+        """Generate SQL for a question (the session's subject)."""
+        self.question = question
+        self.result = self.pipeline.generate(question)
+        return self.result
+
+    def run_sql(self, sql=None):
+        """Execute generated SQL so the user can inspect the output."""
+        return self.pipeline.execute(sql or self.result.sql)
+
+    # -- feedback ----------------------------------------------------------
+
+    def give_feedback(self, text):
+        """Run the four recommendation operators on free-text feedback."""
+        if self.result is None:
+            raise RuntimeError("Ask a question before giving feedback")
+        self._iterations += 1
+        self.feedback = Feedback(
+            feedback_id=next_feedback_id(),
+            question=self.question,
+            generated_sql=self.result.sql,
+            text=text,
+            author=self.author,
+        )
+        knowledge = self.pipeline.knowledge
+        targets = generate_targets(self.feedback, self.result.context, knowledge)
+        expanded = expand_feedback(self.feedback, self.result, targets)
+        steps, directives = plan_edits(self.feedback, expanded, knowledge)
+        self.last_targets = targets
+        self.last_expansion = expanded
+        self.last_plan = steps
+        intent_ids = tuple(self.result.context.intent_ids)
+        self.recommendations = generate_edits(
+            self.feedback, directives, knowledge, intent_ids=intent_ids
+        )
+        return self.recommendations
+
+    # -- staging ----------------------------------------------------------
+
+    def stage(self, *edit_ids):
+        """Accept recommendations into the staging environment."""
+        wanted = set(edit_ids) if edit_ids else {
+            edit.edit_id for edit in self.recommendations
+        }
+        for edit in self.recommendations:
+            if edit.edit_id in wanted:
+                edit.status = STATUS_STAGED
+                if edit.edit_id not in self._staged_ids:
+                    self._staged_ids.append(edit.edit_id)
+        return self.staged_edits()
+
+    def dismiss(self, *edit_ids):
+        for edit in self.recommendations:
+            if edit.edit_id in edit_ids:
+                edit.status = STATUS_DISMISSED
+                if edit.edit_id in self._staged_ids:
+                    self._staged_ids.remove(edit.edit_id)
+        return self.staged_edits()
+
+    def staged_edits(self):
+        return [
+            edit for edit in self.recommendations
+            if edit.status == STATUS_STAGED
+        ]
+
+    def staging_knowledge(self):
+        """A clone of the live knowledge set with staged edits applied."""
+        staged = self.pipeline.knowledge.clone()
+        for edit in self.staged_edits():
+            apply_edit(staged, edit)
+        return staged
+
+    # -- regenerate / iterate ----------------------------------------------------------
+
+    def regenerate(self):
+        """Regenerate the query in the staging environment (instant
+        gratification: the user sees their edits make a difference)."""
+        staged = self.staging_knowledge()
+        staging_pipeline = GenEditPipeline(
+            self.pipeline.database, staged, config=self.pipeline.config
+        )
+        self.result = staging_pipeline.generate(self.question)
+        return self.result
+
+    @property
+    def iterations(self):
+        return self._iterations
+
+    # -- submit ----------------------------------------------------------
+
+    def submit(self):
+        """Submit staged edits: regression test, then queue for approval."""
+        staged_knowledge = self.staging_knowledge()
+        report = run_regression(
+            self.pipeline.database,
+            self.pipeline.knowledge,
+            staged_knowledge,
+            self.golden_queries,
+            config=self.pipeline.config,
+        )
+        submission = Submission(
+            feedback=self.feedback,
+            edits=self.staged_edits(),
+            status=SUBMISSION_PENDING_TESTS,
+            regression_report=report,
+        )
+        if self.approval_queue is not None:
+            self.approval_queue.enqueue(submission)
+        else:
+            from .models import SUBMISSION_PENDING_APPROVAL, SUBMISSION_REJECTED
+
+            submission.status = (
+                SUBMISSION_PENDING_APPROVAL if report.passed
+                else SUBMISSION_REJECTED
+            )
+        return submission

@@ -1,0 +1,81 @@
+"""Feedback operator #1: Generate Targets (§4.1.i).
+
+Determines which of the instructions and examples retrieved for the
+generation are relevant to the user feedback, with a brief explanation of
+why. When the feedback reveals *missing* knowledge — an undefined term,
+adjective, or idiom — an empty-id target marks the gap.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..text.similarity import jaccard
+from ..text.normalize import normalize
+from .models import (
+    COMPONENT_EXAMPLE,
+    COMPONENT_INSTRUCTION,
+    EditTarget,
+)
+
+_QUOTED = re.compile(r"'([^']+)'")
+
+
+def generate_targets(feedback, generation_context, knowledge):
+    """Return a list of :class:`EditTarget` for ``feedback``.
+
+    ``generation_context`` is the PipelineContext of the generation being
+    criticised — its retrieved instructions/examples are the candidates,
+    exactly as the paper describes.
+    """
+    targets = []
+    feedback_tokens = set(normalize(feedback.text))
+    for instruction in generation_context.instructions:
+        score = jaccard(
+            feedback_tokens, normalize(instruction.retrieval_text)
+        )
+        if score > 0.08:
+            targets.append(
+                EditTarget(
+                    kind=COMPONENT_INSTRUCTION,
+                    component_id=instruction.instruction_id,
+                    reason=(
+                        f"feedback overlaps this instruction "
+                        f"(similarity {score:.2f})"
+                    ),
+                )
+            )
+    for example in generation_context.examples:
+        score = jaccard(feedback_tokens, normalize(example.retrieval_text))
+        if score > 0.10:
+            targets.append(
+                EditTarget(
+                    kind=COMPONENT_EXAMPLE,
+                    component_id=example.example_id,
+                    reason=(
+                        f"feedback overlaps this example "
+                        f"(similarity {score:.2f})"
+                    ),
+                )
+            )
+    # Quoted phrases the knowledge set does not know yet mark gaps.
+    known_terms = set(knowledge.term_definitions())
+    for phrase in _QUOTED.findall(feedback.text):
+        lowered = phrase.lower()
+        if lowered not in known_terms:
+            targets.append(
+                EditTarget(
+                    kind=COMPONENT_INSTRUCTION,
+                    component_id="",
+                    reason=f"term {phrase!r} is not in the knowledge set",
+                )
+            )
+    if not targets:
+        targets.append(
+            EditTarget(
+                kind=COMPONENT_INSTRUCTION,
+                component_id="",
+                reason="no retrieved component matches; knowledge gap",
+            )
+        )
+    return targets

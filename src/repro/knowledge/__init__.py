@@ -1,0 +1,54 @@
+"""Knowledge set: models, store, mining, decomposition, versioning, library."""
+
+from .decomposition import (
+    build_examples,
+    build_full_query_example,
+    describe_unit,
+    detect_pattern,
+)
+from .library import KnowledgeLibrary
+from .mining import (
+    DomainDocument,
+    GlossaryEntry,
+    GuidelineEntry,
+    LoggedQuery,
+    mine_knowledge_set,
+)
+from .models import (
+    DecomposedExample,
+    Instruction,
+    Intent,
+    Provenance,
+    SchemaElement,
+    next_component_id,
+)
+from .serialize import from_json, load, save, to_json
+from .store import KnowledgeSet
+from .versioning import Checkpoint, EditRecord, KnowledgeSetHistory
+
+__all__ = [
+    "Checkpoint",
+    "DecomposedExample",
+    "DomainDocument",
+    "EditRecord",
+    "GlossaryEntry",
+    "GuidelineEntry",
+    "Instruction",
+    "Intent",
+    "KnowledgeLibrary",
+    "KnowledgeSet",
+    "KnowledgeSetHistory",
+    "LoggedQuery",
+    "Provenance",
+    "SchemaElement",
+    "build_examples",
+    "build_full_query_example",
+    "from_json",
+    "describe_unit",
+    "detect_pattern",
+    "load",
+    "mine_knowledge_set",
+    "save",
+    "to_json",
+    "next_component_id",
+]

@@ -1,0 +1,193 @@
+"""JSON persistence for knowledge sets.
+
+Enterprise deployments version the knowledge set outside the process —
+checkpoints ship between the staging environment and production, and the
+Knowledge Set Library needs durable storage. :func:`to_json` /
+:func:`from_json` round-trip every component (with provenance) through a
+plain-JSON structure; :func:`save` / :func:`load` wrap them with file IO.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .models import (
+    DecomposedExample,
+    Instruction,
+    Intent,
+    Provenance,
+    SchemaElement,
+)
+from .store import KnowledgeSet
+
+FORMAT_VERSION = 1
+
+
+def _provenance_to_dict(provenance):
+    return {
+        "source_kind": provenance.source_kind,
+        "source_ref": provenance.source_ref,
+        "timestamp": provenance.timestamp,
+        "note": provenance.note,
+    }
+
+
+def _provenance_from_dict(payload):
+    return Provenance(
+        source_kind=payload.get("source_kind", "manual"),
+        source_ref=payload.get("source_ref", ""),
+        timestamp=payload.get("timestamp", 0),
+        note=payload.get("note", ""),
+    )
+
+
+def to_json(knowledge):
+    """Serialise a :class:`KnowledgeSet` to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": knowledge.name,
+        "intents": [
+            {
+                "intent_id": intent.intent_id,
+                "name": intent.name,
+                "description": intent.description,
+                "tables": list(intent.tables),
+                "provenance": _provenance_to_dict(intent.provenance),
+            }
+            for intent in knowledge.intents()
+        ],
+        "examples": [
+            {
+                "example_id": example.example_id,
+                "description": example.description,
+                "sql": example.sql,
+                "kind": example.kind,
+                "pattern": example.pattern,
+                "intent_ids": list(example.intent_ids),
+                "tables": list(example.tables),
+                "columns": list(example.columns),
+                "source_query_id": example.source_query_id,
+                "provenance": _provenance_to_dict(example.provenance),
+            }
+            for example in knowledge.examples()
+        ],
+        "instructions": [
+            {
+                "instruction_id": instruction.instruction_id,
+                "text": instruction.text,
+                "kind": instruction.kind,
+                "term": instruction.term,
+                "sql_pattern": instruction.sql_pattern,
+                "intent_ids": list(instruction.intent_ids),
+                "tables": list(instruction.tables),
+                "provenance": _provenance_to_dict(instruction.provenance),
+            }
+            for instruction in knowledge.instructions()
+        ],
+        "schema_elements": [
+            {
+                "element_id": element.element_id,
+                "table": element.table,
+                "column": element.column,
+                "data_type": element.data_type,
+                "description": element.description,
+                "top_values": [_json_value(v) for v in element.top_values],
+                "intent_ids": list(element.intent_ids),
+                "provenance": _provenance_to_dict(element.provenance),
+            }
+            for element in knowledge.schema_elements()
+        ],
+    }
+
+
+def _json_value(value):
+    """Top values may be dates; everything else is JSON-native already."""
+    import datetime
+
+    if isinstance(value, datetime.date):
+        return {"__date__": value.isoformat()}
+    return value
+
+
+def _from_json_value(value):
+    import datetime
+
+    if isinstance(value, dict) and "__date__" in value:
+        return datetime.date.fromisoformat(value["__date__"])
+    return value
+
+
+def from_json(payload):
+    """Rebuild a :class:`KnowledgeSet` from :func:`to_json` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"Unsupported knowledge-set format version: {version!r}"
+        )
+    knowledge = KnowledgeSet(payload.get("name", "knowledge"))
+    for entry in payload.get("intents", []):
+        knowledge.add_intent(
+            Intent(
+                intent_id=entry["intent_id"],
+                name=entry["name"],
+                description=entry.get("description", ""),
+                tables=tuple(entry.get("tables", ())),
+                provenance=_provenance_from_dict(entry.get("provenance", {})),
+            )
+        )
+    for entry in payload.get("examples", []):
+        knowledge.add_example(
+            DecomposedExample(
+                example_id=entry["example_id"],
+                description=entry["description"],
+                sql=entry["sql"],
+                kind=entry.get("kind", "select_item"),
+                pattern=entry.get("pattern", ""),
+                intent_ids=tuple(entry.get("intent_ids", ())),
+                tables=tuple(entry.get("tables", ())),
+                columns=tuple(entry.get("columns", ())),
+                source_query_id=entry.get("source_query_id", ""),
+                provenance=_provenance_from_dict(entry.get("provenance", {})),
+            )
+        )
+    for entry in payload.get("instructions", []):
+        knowledge.add_instruction(
+            Instruction(
+                instruction_id=entry["instruction_id"],
+                text=entry["text"],
+                kind=entry.get("kind", "guideline"),
+                term=entry.get("term", ""),
+                sql_pattern=entry.get("sql_pattern", ""),
+                intent_ids=tuple(entry.get("intent_ids", ())),
+                tables=tuple(entry.get("tables", ())),
+                provenance=_provenance_from_dict(entry.get("provenance", {})),
+            )
+        )
+    for entry in payload.get("schema_elements", []):
+        knowledge.add_schema_element(
+            SchemaElement(
+                element_id=entry["element_id"],
+                table=entry["table"],
+                column=entry.get("column", ""),
+                data_type=entry.get("data_type", ""),
+                description=entry.get("description", ""),
+                top_values=tuple(
+                    _from_json_value(v) for v in entry.get("top_values", ())
+                ),
+                intent_ids=tuple(entry.get("intent_ids", ())),
+                provenance=_provenance_from_dict(entry.get("provenance", {})),
+            )
+        )
+    return knowledge
+
+
+def save(knowledge, path):
+    """Write a knowledge set to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_json(knowledge), handle, indent=2, sort_keys=True)
+
+
+def load(path):
+    """Read a knowledge set from a JSON file written by :func:`save`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_json(json.load(handle))

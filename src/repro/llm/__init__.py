@@ -1,0 +1,29 @@
+"""Simulated language model layer: interface, costs, grounding."""
+
+from .grounding import Grounder, GroundingCandidate, GroundingInput
+from .interface import (
+    GPT_4O,
+    GPT_4O_MINI,
+    CallMeter,
+    LlmCall,
+    ModelSpec,
+    Prompt,
+    PromptSection,
+    count_tokens,
+)
+from .simulated import SimulatedLLM
+
+__all__ = [
+    "CallMeter",
+    "GPT_4O",
+    "GPT_4O_MINI",
+    "Grounder",
+    "GroundingCandidate",
+    "GroundingInput",
+    "LlmCall",
+    "ModelSpec",
+    "Prompt",
+    "PromptSection",
+    "SimulatedLLM",
+    "count_tokens",
+]

@@ -1,0 +1,174 @@
+"""Language-model interface: prompts, token accounting, and model registry.
+
+The paper runs GPT-4o for every operator except schema linking (GPT-4o-mini,
+chosen to cut cost and latency, §3.3.3). This reproduction has no network,
+so the "models" are deterministic simulations — but the *interface* is kept
+faithful: every operator renders a prompt, the prompt is token-counted
+against the model's context budget (truncating overflow exactly like a real
+context window would), and each call is metered for cost/latency using the
+public GPT-4o price sheet. The context budget is load-bearing: the
+schema-linking ablation hurts precisely because an un-linked schema
+overflows the generation context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def count_tokens(text):
+    """Approximate token count (≈ 4 characters/token, the usual rule)."""
+    if not text:
+        return 0
+    return max(1, (len(text) + 3) // 4)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A model's context budget and pricing (USD per 1M tokens)."""
+
+    name: str
+    context_tokens: int
+    input_cost_per_million: float
+    output_cost_per_million: float
+    latency_ms_per_call: float
+
+
+#: Budgets sized so that a full un-linked enterprise schema overflows while
+#: a linked subset fits comfortably; prices from the Aug-2024 sheet the
+#: paper's evaluation period used.
+GPT_4O = ModelSpec("gpt-4o", context_tokens=6000,
+                   input_cost_per_million=2.50,
+                   output_cost_per_million=10.00,
+                   latency_ms_per_call=1800.0)
+GPT_4O_MINI = ModelSpec("gpt-4o-mini", context_tokens=6000,
+                        input_cost_per_million=0.15,
+                        output_cost_per_million=0.60,
+                        latency_ms_per_call=700.0)
+
+MODELS = {spec.name: spec for spec in (GPT_4O, GPT_4O_MINI)}
+
+
+@dataclass
+class PromptSection:
+    """One named section of a prompt (schema, examples, instructions...)."""
+
+    title: str
+    entries: list = field(default_factory=list)
+
+    def render(self):
+        lines = [f"## {self.title}"]
+        lines.extend(str(entry) for entry in self.entries)
+        return "\n".join(lines)
+
+    @property
+    def token_count(self):
+        return count_tokens(self.render())
+
+
+@dataclass
+class Prompt:
+    """A structured prompt: instruction header plus ordered sections.
+
+    :meth:`fit_to_budget` drops trailing entries from the lowest-priority
+    sections until the prompt fits the model context — the deterministic
+    analogue of context-window truncation. Sections are truncated in
+    *reverse* priority order (the last section listed loses entries first).
+    """
+
+    task: str
+    sections: list = field(default_factory=list)
+
+    def add_section(self, title, entries):
+        section = PromptSection(title, list(entries))
+        self.sections.append(section)
+        return section
+
+    def render(self):
+        parts = [self.task]
+        parts.extend(section.render() for section in self.sections)
+        return "\n\n".join(parts)
+
+    @property
+    def token_count(self):
+        return count_tokens(self.render())
+
+    def fit_to_budget(self, budget_tokens):
+        """Truncate entries (in reverse section order) until within budget.
+
+        Returns a dict of {section title: number of entries dropped}.
+        """
+        dropped = {}
+        while self.token_count > budget_tokens:
+            victim = None
+            for section in reversed(self.sections):
+                if section.entries:
+                    victim = section
+                    break
+            if victim is None:
+                return dropped
+            victim.entries.pop()
+            dropped[victim.title] = dropped.get(victim.title, 0) + 1
+        return dropped
+
+
+@dataclass
+class LlmCall:
+    """Accounting record of one simulated model call."""
+
+    operator: str
+    model: str
+    input_tokens: int
+    output_tokens: int
+    truncated: dict = field(default_factory=dict)
+
+    @property
+    def cost_usd(self):
+        spec = MODELS[self.model]
+        return (
+            self.input_tokens * spec.input_cost_per_million
+            + self.output_tokens * spec.output_cost_per_million
+        ) / 1_000_000
+
+    @property
+    def latency_ms(self):
+        return MODELS[self.model].latency_ms_per_call
+
+
+class CallMeter:
+    """Accumulates :class:`LlmCall` records across a pipeline run."""
+
+    def __init__(self):
+        self.calls = []
+
+    def record(self, operator, model, prompt, output_text, truncated=None):
+        call = LlmCall(
+            operator=operator,
+            model=model.name if isinstance(model, ModelSpec) else str(model),
+            input_tokens=(
+                prompt.token_count if isinstance(prompt, Prompt)
+                else count_tokens(str(prompt))
+            ),
+            output_tokens=count_tokens(str(output_text)),
+            truncated=dict(truncated or {}),
+        )
+        self.calls.append(call)
+        return call
+
+    @property
+    def total_cost_usd(self):
+        return sum(call.cost_usd for call in self.calls)
+
+    @property
+    def total_latency_ms(self):
+        return sum(call.latency_ms for call in self.calls)
+
+    @property
+    def total_input_tokens(self):
+        return sum(call.input_tokens for call in self.calls)
+
+    def by_operator(self):
+        grouped = {}
+        for call in self.calls:
+            grouped.setdefault(call.operator, []).append(call)
+        return grouped

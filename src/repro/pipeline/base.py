@@ -1,0 +1,126 @@
+"""Pipeline plumbing: operators, run context, plans, and traces.
+
+A :class:`GenEditPipeline` run threads a :class:`PipelineContext` through a
+sequence of :class:`Operator` instances (Fig. 1's numbered boxes). Each
+operator reads what earlier operators produced — that compounding is the
+paper's core retrieval idea — and appends a :class:`TraceEvent` so runs are
+fully inspectable (the examples print these traces to show the
+architecture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..llm.interface import CallMeter
+
+
+@dataclass
+class TraceEvent:
+    """One operator's visible effect during a run."""
+
+    operator: str
+    summary: str
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self):
+        return f"[{self.operator}] {self.summary}"
+
+
+@dataclass
+class PlanStep:
+    """One step of the CoT plan: NL description plus optional pseudo-SQL."""
+
+    description: str
+    pseudo_sql: str = ""
+
+    def render(self):
+        if self.pseudo_sql:
+            return f"{self.description}\n    {self.pseudo_sql}"
+        return self.description
+
+
+@dataclass
+class Plan:
+    """The chain-of-thought plan (§3.1.2).
+
+    ``steps`` is the ordered natural-language plan shown in prompts;
+    ``spec`` is the grounded meaning the planner recovered (the structured
+    content the steps describe); ``issues`` records grounding gaps the
+    planner knows about (used in traces and edit recommendation).
+    """
+
+    steps: list = field(default_factory=list)
+    spec: object = None
+    issues: list = field(default_factory=list)
+
+    def render(self):
+        lines = []
+        for number, step in enumerate(self.steps, start=1):
+            lines.append(f"Step {number}: {step.render()}")
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self.steps)
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the pipeline operators."""
+
+    question: str
+    database: object            # repro.engine.Database
+    knowledge: object           # repro.knowledge.KnowledgeSet
+    config: object              # PipelineConfig
+
+    reformulated: str = ""
+    intent_ids: list = field(default_factory=list)
+    examples: list = field(default_factory=list)       # DecomposedExample
+    example_scores: dict = field(default_factory=dict)
+    instructions: list = field(default_factory=list)   # Instruction
+    schema_elements: list = field(default_factory=list)
+    plan: Plan | None = None
+    candidates: list = field(default_factory=list)     # candidate SQL strings
+    sql: str = ""
+    attempts: list = field(default_factory=list)       # (sql, error) pairs
+    trace: list = field(default_factory=list)
+    meter: CallMeter = field(default_factory=CallMeter)
+
+    def add_trace(self, operator, summary, **detail):
+        event = TraceEvent(operator=operator, summary=summary, detail=detail)
+        self.trace.append(event)
+        return event
+
+    def render_trace(self):
+        return "\n".join(str(event) for event in self.trace)
+
+
+class Operator:
+    """Base class for pipeline operators (Fig. 1 boxes)."""
+
+    #: Human-readable operator name used in traces.
+    name = "operator"
+
+    def run(self, context: PipelineContext):
+        raise NotImplementedError
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of one pipeline run."""
+
+    question: str
+    sql: str
+    plan: Plan | None
+    success: bool               # a candidate passed validation
+    trace: list
+    context: PipelineContext
+    error: str = ""
+
+    @property
+    def cost_usd(self):
+        return self.context.meter.total_cost_usd
+
+    @property
+    def latency_ms(self):
+        return self.context.meter.total_latency_ms

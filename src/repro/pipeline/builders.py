@@ -1,0 +1,278 @@
+"""Render a :class:`~repro.pipeline.spec.QuerySpec` to SQL.
+
+One builder per query shape. The workload uses these to produce gold SQL;
+the generation operator uses them to produce candidate SQL from the spec it
+recovered. All output parses with :func:`repro.sql.parse` (enforced by the
+builder tests), so any generation failure is a *meaning* failure, not a
+syntax accident — unless an ablation deliberately degrades the builder
+(e.g. the no-pseudo-SQL fallbacks in the generation operator).
+"""
+
+from __future__ import annotations
+
+from .spec import (
+    QuerySpec,
+    SHAPE_RATIO_DELTA_RANK,
+    SHAPE_SHARE_OF_TOTAL,
+    SHAPE_STANDARD,
+    SHAPE_TOPK_BOTH_ENDS,
+    sql_literal,
+)
+
+
+def build_sql(spec: QuerySpec):
+    """Render ``spec`` to SQL text."""
+    builder = _BUILDERS.get(spec.shape)
+    if builder is None:
+        raise ValueError(f"Unknown query shape {spec.shape!r}")
+    return builder(spec)
+
+
+# ---------------------------------------------------------------------------
+# shared pieces
+# ---------------------------------------------------------------------------
+
+
+def _from_clause(spec):
+    parts = [f"FROM {spec.base_table}"]
+    for join in spec.joins:
+        parts.append(
+            f"JOIN {join.table} ON {spec.base_table}.{join.left_column} = "
+            f"{join.table}.{join.right_column}"
+        )
+    return " ".join(parts)
+
+
+def _where_clause(spec):
+    conditions = [flt.render() for flt in spec.filters]
+    conditions.extend(qf.render() for qf in spec.quarter_filters)
+    if not conditions:
+        return ""
+    return "WHERE " + " AND ".join(conditions)
+
+
+def _metric_select_list(spec):
+    rendered = []
+    for metric in spec.metrics:
+        rendered.append(f"{metric.render()} AS {metric.alias}")
+    return rendered
+
+
+def _group_clause(spec):
+    if not spec.group_by:
+        return ""
+    return "GROUP BY " + ", ".join(spec.group_by)
+
+
+def _having_clause(spec):
+    if not spec.having:
+        return ""
+    conditions = []
+    for having in spec.having:
+        metric = spec.metrics[having.metric_index]
+        conditions.append(
+            f"{metric.render()} {having.op} {sql_literal(having.value)}"
+        )
+    return "HAVING " + " AND ".join(conditions)
+
+
+def _order_clause(spec):
+    order = spec.order
+    if order is None:
+        return ""
+    if order.metric_index is not None:
+        key = spec.metrics[order.metric_index].alias
+    else:
+        key = order.column
+    direction = "DESC" if order.descending else "ASC"
+    clause = f"ORDER BY {key} {direction}"
+    if order.limit is not None:
+        clause += f" LIMIT {order.limit}"
+    return clause
+
+
+def _join_parts(*parts):
+    return " ".join(part for part in parts if part)
+
+
+# ---------------------------------------------------------------------------
+# standard shape
+# ---------------------------------------------------------------------------
+
+
+def build_standard(spec):
+    """Plain SELECT: projection + metrics, filters, grouping, ordering."""
+    select_list = list(spec.projection) + _metric_select_list(spec)
+    if not select_list:
+        select_list = ["*"]
+    distinct = "DISTINCT " if spec.distinct else ""
+    return _join_parts(
+        f"SELECT {distinct}{', '.join(select_list)}",
+        _from_clause(spec),
+        _where_clause(spec),
+        _group_clause(spec),
+        _having_clause(spec),
+        _order_clause(spec),
+    )
+
+
+# ---------------------------------------------------------------------------
+# top-k both ends
+# ---------------------------------------------------------------------------
+
+
+def build_topk_both_ends(spec):
+    """Rank groups by the first metric from both ends; keep best/worst k.
+
+    The idiom from the paper's Appendix A final stage: two ROW_NUMBER
+    rankings (DESC and ASC) with ``WHERE best <= k OR worst <= k``.
+    """
+    order = spec.order
+    metric = spec.metrics[0]
+    k = order.limit if order and order.limit else 5
+    entity = ", ".join(spec.group_by)
+    inner = _join_parts(
+        f"SELECT {entity}, {metric.render()} AS {metric.alias}",
+        _from_clause(spec),
+        _where_clause(spec),
+        _group_clause(spec),
+        _having_clause(spec),
+    )
+    ranked = (
+        f"SELECT {entity}, {metric.alias}, "
+        f"ROW_NUMBER() OVER (ORDER BY {metric.alias} DESC) AS BEST_RANK, "
+        f"ROW_NUMBER() OVER (ORDER BY {metric.alias} ASC) AS WORST_RANK "
+        f"FROM GROUPED"
+    )
+    if order is not None and order.both_ends:
+        keep = f"BEST_RANK <= {k} OR WORST_RANK <= {k}"
+    elif order is not None and not order.descending:
+        keep = f"WORST_RANK <= {k}"
+    else:
+        keep = f"BEST_RANK <= {k}"
+    return (
+        f"WITH GROUPED AS ({inner}), "
+        f"RANKED AS ({ranked}) "
+        f"SELECT {entity}, {metric.alias}, BEST_RANK FROM RANKED "
+        f"WHERE {keep} ORDER BY BEST_RANK"
+    )
+
+
+# ---------------------------------------------------------------------------
+# share of total
+# ---------------------------------------------------------------------------
+
+
+def build_share_of_total(spec):
+    """Per-group metric plus its share of the grand total."""
+    metric = spec.metrics[0]
+    entity = ", ".join(spec.group_by)
+    inner = _join_parts(
+        f"SELECT {entity}, {metric.render()} AS {metric.alias}",
+        _from_clause(spec),
+        _where_clause(spec),
+        _group_clause(spec),
+        _having_clause(spec),
+    )
+    limit = ""
+    if spec.order is not None and spec.order.limit is not None:
+        limit = f" LIMIT {spec.order.limit}"
+    return (
+        f"WITH TOTALS AS ({inner}) "
+        f"SELECT {entity}, {metric.alias}, "
+        f"CAST({metric.alias} AS FLOAT) / "
+        f"NULLIF(SUM({metric.alias}) OVER (), 0) AS SHARE "
+        f"FROM TOTALS ORDER BY SHARE DESC{limit}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# ratio delta rank (the QoQFP shape, Appendix A)
+# ---------------------------------------------------------------------------
+
+
+def _pivot_cte(name, table, entity, date_column, value_column,
+               previous_label, current_label, filters):
+    mask = "'YYYY\"Q\"Q'"
+    conditions = [
+        f"TO_CHAR({date_column}, {mask}) IN "
+        f"('{previous_label}', '{current_label}')"
+    ]
+    conditions.extend(flt.render() for flt in filters)
+    where = " AND ".join(conditions)
+    return (
+        f"{name} AS (SELECT {entity}, "
+        f"SUM(CASE WHEN TO_CHAR({date_column}, {mask}) = "
+        f"'{previous_label}' THEN {value_column} ELSE 0 END) AS PREV_VALUE, "
+        f"SUM(CASE WHEN TO_CHAR({date_column}, {mask}) = "
+        f"'{current_label}' THEN {value_column} ELSE 0 END) AS CUR_VALUE "
+        f"FROM {table} WHERE {where} GROUP BY {entity})"
+    )
+
+
+def build_ratio_delta_rank(spec):
+    """The Appendix-A shape: quarter pivots, safe ratio, change, dual rank.
+
+    With a denominator: metric = numerator/denominator per quarter (e.g.
+    revenue per viewer); without: metric = the plain numerator pivot. The
+    change ``current − previous`` is optionally negated (the "-1 multiplier"
+    rule) and entities are ranked from both ends.
+    """
+    params = spec.ratio_delta
+    entity = params.entity_column
+    previous, current = params.previous_label, params.current_label
+    ctes = [
+        _pivot_cte(
+            "NUMER", params.numerator_table, entity,
+            params.numerator_date_column, params.numerator_value_column,
+            previous, current, params.numerator_filters,
+        )
+    ]
+    if params.denominator_table:
+        ctes.append(
+            _pivot_cte(
+                "DENOM", params.denominator_table, entity,
+                params.denominator_date_column,
+                params.denominator_value_column,
+                previous, current, params.denominator_filters,
+            )
+        )
+        cur_metric = "CAST(n.CUR_VALUE AS FLOAT) / NULLIF(d.CUR_VALUE, 0)"
+        prev_metric = "CAST(n.PREV_VALUE AS FLOAT) / NULLIF(d.PREV_VALUE, 0)"
+        delta_from = f"FROM NUMER n JOIN DENOM d ON n.{entity} = d.{entity}"
+        entity_ref = f"n.{entity}"
+    else:
+        cur_metric = "CAST(n.CUR_VALUE AS FLOAT)"
+        prev_metric = "CAST(n.PREV_VALUE AS FLOAT)"
+        delta_from = "FROM NUMER n"
+        entity_ref = f"n.{entity}"
+    change = f"({cur_metric}) - ({prev_metric})"
+    if params.negate:
+        change = f"-1 * ({change})"
+    delta = (
+        f"DELTA AS (SELECT {entity_ref} AS {entity}, "
+        f"{cur_metric} AS CURRENT_METRIC, "
+        f"{prev_metric} AS PREVIOUS_METRIC, "
+        f"{change} AS METRIC_CHANGE, "
+        f"ROW_NUMBER() OVER (ORDER BY {change} DESC) AS BEST_RANK, "
+        f"ROW_NUMBER() OVER (ORDER BY {change} ASC) AS WORST_RANK "
+        f"{delta_from})"
+    )
+    ctes.append(delta)
+    if params.both_ends:
+        keep = f"BEST_RANK <= {params.k} OR WORST_RANK <= {params.k}"
+    else:
+        keep = f"BEST_RANK <= {params.k}"
+    return (
+        "WITH " + ", ".join(ctes) + " "
+        f"SELECT {entity}, CURRENT_METRIC, PREVIOUS_METRIC, METRIC_CHANGE, "
+        f"BEST_RANK FROM DELTA WHERE {keep} ORDER BY BEST_RANK"
+    )
+
+
+_BUILDERS = {
+    SHAPE_STANDARD: build_standard,
+    SHAPE_TOPK_BOTH_ENDS: build_topk_both_ends,
+    SHAPE_SHARE_OF_TOTAL: build_share_of_total,
+    SHAPE_RATIO_DELTA_RANK: build_ratio_delta_rank,
+}

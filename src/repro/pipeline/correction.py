@@ -1,0 +1,61 @@
+"""Self-correction operator (§2.1, §3).
+
+Executes the selected candidate; on a syntactic or semantic error it
+regenerates — here by advancing to the next grounding candidate — with the
+perceived error carried as context, up to ``k`` retries. This mirrors the
+execution-guided retry loop the paper adopts from prior work.
+"""
+
+from __future__ import annotations
+
+from ..engine.errors import ExecutionError
+from ..engine.executor import Executor
+from ..sql.errors import SqlError
+from .base import Operator
+
+
+class SelfCorrectionOperator(Operator):
+    name = "self_correct"
+
+    def run(self, context):
+        config = context.config
+        executor = Executor(context.database)
+        attempts = []
+        queue = [context.sql] + [
+            sql for sql in context.candidates if sql != context.sql
+        ]
+        tried = 0
+        for sql in queue:
+            if not sql:
+                continue
+            if tried > config.max_retries:
+                break
+            tried += 1
+            try:
+                executor.execute(sql)
+            except (SqlError, ExecutionError) as error:
+                attempts.append((sql, str(error)))
+                context.add_trace(
+                    self.name,
+                    f"attempt {tried} failed: {error}",
+                )
+                # The regeneration prompt would carry the error text; the
+                # next grounding candidate plays that corrected role.
+                context.meter.record(
+                    "self_correct", "gpt-4o",
+                    f"Error: {error}\nRegenerate the SQL.", sql,
+                )
+                continue
+            context.sql = sql
+            context.attempts = attempts
+            context.add_trace(
+                self.name,
+                f"candidate executed cleanly on attempt {tried}",
+            )
+            return context
+        context.attempts = attempts
+        context.add_trace(
+            self.name,
+            f"no candidate executed cleanly after {tried} attempt(s)",
+        )
+        return context

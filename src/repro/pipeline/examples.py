@@ -1,0 +1,57 @@
+"""Operator #3: example selection (§3.1.1).
+
+Examples associated with the classified intents are retrieved first, the
+pool is widened with query-similar examples, and everything is re-ranked by
+cosine similarity with the reformulated question. Selected examples carry
+the idiom patterns (their decomposed fragments) that planning later turns
+into pseudo-SQL, plus the columns they reference (a small grounding boost
+when examples appear in the generation prompt).
+"""
+
+from __future__ import annotations
+
+from .base import Operator
+
+
+class ExampleSelectionOperator(Operator):
+    name = "select_examples"
+
+    def run(self, context):
+        knowledge = context.knowledge
+        config = context.config
+        intent_candidates = [
+            example.example_id
+            for example in knowledge.examples_for_intents(context.intent_ids)
+        ]
+        # Widen with query-similar examples from the whole view.
+        widened = knowledge.search_examples(
+            context.reformulated, k=config.example_top_k * 2
+        )
+        pool = list(
+            dict.fromkeys(
+                intent_candidates + [hit.doc_id for hit in widened]
+            )
+        )
+        ranked_pool = knowledge.search_examples(
+            context.reformulated, k=len(pool) or 1, candidates=pool
+        )
+        context.examples = [
+            knowledge.example(hit.doc_id)
+            for hit in ranked_pool[: config.example_top_k]
+            if knowledge.example(hit.doc_id) is not None
+        ]
+        # The whole ranked pool stays visible to planning: pattern evidence
+        # comes from what was *retrieved*, not just what fit in the prompt.
+        context.example_pool = [
+            knowledge.example(hit.doc_id)
+            for hit in ranked_pool
+            if knowledge.example(hit.doc_id) is not None
+        ]
+        context.example_scores = {hit.doc_id: hit.score for hit in ranked_pool}
+        context.add_trace(
+            self.name,
+            f"selected {len(context.examples)} examples "
+            f"(pool {len(pool)})",
+            kinds=[example.kind for example in context.examples],
+        )
+        return context

@@ -1,0 +1,87 @@
+"""SQL generation operator (the second model call of §3.1.2).
+
+Renders candidate SQL from the plan's grounded spec (and the grounding
+alternates) with the shared builders, validates each candidate with the
+static analyzer, and picks the best one — "if more than one candidate query
+is generated, GenEdit picks the 'best' one". Candidates that fail analysis
+are kept for the self-correction operator to work through.
+"""
+
+from __future__ import annotations
+
+from ..sql.analyzer import Analyzer
+from ..sql.errors import SqlError
+from ..sql.parser import parse
+from .base import Operator
+from .builders import build_sql
+from .prompt import assemble_prompt
+
+
+class GenerationOperator(Operator):
+    name = "generate_sql"
+
+    def run(self, context):
+        config = context.config
+        candidates = getattr(context, "grounding_candidates", [])
+        if context.plan is None or not candidates:
+            context.add_trace(self.name, "no plan available")
+            context.candidates = []
+            return context
+        prompt_examples = context.examples if config.use_examples else []
+        fitted = assemble_prompt(
+            context.reformulated,
+            context.instructions,
+            prompt_examples,
+            context.schema_elements,
+            plan_text=context.plan.render(),
+            budget_tokens=config.context_budget_tokens,
+        )
+        rendered = []
+        seen = set()
+        # Without pseudo-SQL the plan steps carry no fragments to anchor
+        # alternative groundings, so only the primary candidate is viable.
+        candidate_limit = (
+            max(config.candidate_count, 1) + 2
+            if config.use_pseudo_sql else 1
+        )
+        for candidate in candidates[:candidate_limit]:
+            try:
+                sql = build_sql(candidate.spec)
+            except Exception as error:  # malformed spec -> skip candidate
+                context.add_trace(
+                    self.name, f"candidate build failed: {error}"
+                )
+                continue
+            if sql not in seen:
+                seen.add(sql)
+                rendered.append(sql)
+        context.candidates = rendered
+        context.meter.record(
+            "generate_sql",
+            "gpt-4o",
+            fitted.prompt,
+            rendered[0] if rendered else "",
+        )
+        analyzer = Analyzer(context.database)
+        chosen = None
+        for sql in rendered:
+            issues = self._analyze(analyzer, sql)
+            if not issues:
+                chosen = sql
+                break
+        if chosen is None and rendered:
+            chosen = rendered[0]
+        context.sql = chosen or ""
+        context.add_trace(
+            self.name,
+            f"{len(rendered)} candidate(s); selected "
+            f"{'analyzer-clean' if chosen and not self._analyze(analyzer, chosen) else 'first'} candidate",
+        )
+        return context
+
+    def _analyze(self, analyzer, sql):
+        try:
+            query = parse(sql)
+        except SqlError as error:
+            return [str(error)]
+        return analyzer.analyze(query)

@@ -1,0 +1,80 @@
+"""Operator #4: instruction selection with context expansion (§3.1.1).
+
+Instructions are retrieved per intent and similarity like examples, but the
+re-ranking query is *expanded with the selected examples* — the compounding
+step the paper highlights: "the selection of these examples informs that of
+relevant instructions". With ``use_context_expansion`` off, plain query
+similarity is used (how flat-retrieval baselines behave).
+"""
+
+from __future__ import annotations
+
+from .base import Operator
+
+
+class InstructionSelectionOperator(Operator):
+    name = "select_instructions"
+
+    def run(self, context):
+        config = context.config
+        if not config.use_instructions:
+            context.instructions = []
+            context.add_trace(self.name, "disabled (ablation)")
+            return context
+        knowledge = context.knowledge
+        intent_candidates = [
+            instruction.instruction_id
+            for instruction in knowledge.instructions_for_intents(
+                context.intent_ids
+            )
+        ]
+        widened = knowledge.search_instructions(
+            context.reformulated, k=config.instruction_top_k * 2
+        )
+        pool = list(
+            dict.fromkeys(
+                intent_candidates + [hit.doc_id for hit in widened]
+            )
+        )
+        extra_text = ""
+        if config.use_context_expansion and context.examples:
+            extra_text = "\n".join(
+                example.description for example in context.examples[:4]
+            )
+        hits = knowledge.search_instructions(
+            context.reformulated,
+            k=config.instruction_top_k,
+            candidates=pool,
+            extra_text=extra_text,
+        )
+        context.instructions = [
+            knowledge.instruction(hit.doc_id)
+            for hit in hits
+            if knowledge.instruction(hit.doc_id) is not None
+        ]
+        # Term definitions are exact-match anchors: an instruction whose
+        # term appears verbatim in the question must reach the prompt even
+        # when similarity re-ranking favours other components (this is how
+        # freshly merged feedback definitions take effect immediately).
+        lowered = context.reformulated.lower().replace("-", " ")
+        selected_ids = {
+            instruction.instruction_id
+            for instruction in context.instructions
+        }
+        for term, instruction in knowledge.term_definitions().items():
+            if instruction.instruction_id in selected_ids:
+                continue
+            if term.replace("-", " ") in lowered:
+                context.instructions.append(instruction)
+                selected_ids.add(instruction.instruction_id)
+        context.add_trace(
+            self.name,
+            f"selected {len(context.instructions)} instructions "
+            f"(expansion={'on' if extra_text else 'off'})",
+            terms=[
+                instruction.term
+                for instruction in context.instructions
+                if instruction.term
+            ],
+        )
+        return context

@@ -1,0 +1,77 @@
+"""GenEdit's SQL generation pipeline (Fig. 1, inference phase).
+
+Wires the operators in order — reformulation, intent classification,
+example selection, instruction selection, schema linking, CoT planning, SQL
+generation, self-correction — and exposes :meth:`GenEditPipeline.generate`.
+"""
+
+from __future__ import annotations
+
+from ..engine.errors import ExecutionError
+from ..engine.executor import Executor
+from ..llm.simulated import SimulatedLLM
+from ..sql.errors import SqlError
+from .base import GenerationResult, PipelineContext
+from .config import DEFAULT_CONFIG
+from .correction import SelfCorrectionOperator
+from .examples import ExampleSelectionOperator
+from .generation import GenerationOperator
+from .instructions import InstructionSelectionOperator
+from .intents import IntentClassificationOperator
+from .planning import PlanningOperator
+from .reformulate import ReformulateOperator
+from .schema_linking import SchemaLinkingOperator
+
+
+class GenEditPipeline:
+    """The deployed GenEdit generation pipeline."""
+
+    def __init__(self, database, knowledge, config=None, llm=None):
+        self.database = database
+        self.knowledge = knowledge
+        self.config = config or DEFAULT_CONFIG
+        self.llm = llm or SimulatedLLM()
+        self.operators = [
+            ReformulateOperator(self.llm),
+            IntentClassificationOperator(self.llm),
+            ExampleSelectionOperator(),
+            InstructionSelectionOperator(),
+            SchemaLinkingOperator(self.llm),
+            PlanningOperator(self.llm),
+            GenerationOperator(),
+            SelfCorrectionOperator(),
+        ]
+
+    def generate(self, question, config=None):
+        """Generate SQL for ``question`` and return a GenerationResult."""
+        context = PipelineContext(
+            question=question,
+            database=self.database,
+            knowledge=self.knowledge,
+            config=config or self.config,
+        )
+        for operator in self.operators:
+            operator.run(context)
+        success, error = self._final_check(context)
+        return GenerationResult(
+            question=question,
+            sql=context.sql,
+            plan=context.plan,
+            success=success,
+            trace=context.trace,
+            context=context,
+            error=error,
+        )
+
+    def execute(self, sql):
+        """Run SQL on the pipeline's database (used by UIs and examples)."""
+        return Executor(self.database).execute(sql)
+
+    def _final_check(self, context):
+        if not context.sql:
+            return False, "no SQL generated"
+        try:
+            Executor(context.database).execute(context.sql)
+        except (SqlError, ExecutionError) as error:
+            return False, str(error)
+        return True, ""

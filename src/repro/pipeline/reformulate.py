@@ -1,0 +1,30 @@
+"""Operator #1: query reformulation into the canonical form (§3.1.1).
+
+Every question is rewritten to begin with "Show me ..." so downstream
+retrieval and parsing see one surface distribution. When disabled, the raw
+question flows through (baselines without this operator parse rawer text).
+"""
+
+from __future__ import annotations
+
+from .base import Operator
+
+
+class ReformulateOperator(Operator):
+    name = "reformulate"
+
+    def __init__(self, llm):
+        self._llm = llm
+
+    def run(self, context):
+        if context.config.use_reformulation:
+            context.reformulated = self._llm.reformulate(
+                context.question, meter=context.meter
+            )
+        else:
+            context.reformulated = context.question
+        context.add_trace(
+            self.name,
+            f"canonical form: {context.reformulated!r}",
+        )
+        return context

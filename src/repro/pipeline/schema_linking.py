@@ -1,0 +1,79 @@
+"""Operator #5: schema linking (§3.1.1).
+
+Uses the cheaper model (GPT-4o-mini in the paper) to identify relevant
+schema elements, then re-ranks/filters them to manage the generation
+context. When disabled (the Table 2 ablation), the *entire* schema flows
+into the prompt in catalog order — ambiguous surfaces then resolve by
+catalog order, and wide schemas overflow the context budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .base import Operator
+
+
+class SchemaLinkingOperator(Operator):
+    name = "link_schema"
+
+    def __init__(self, llm):
+        self._llm = llm
+
+    def run(self, context):
+        knowledge = context.knowledge
+        all_elements = knowledge.schema_elements()
+        if not context.config.use_value_profiles:
+            # Systems without database access see the catalog only — no
+            # top-value lists to anchor literal grounding.
+            all_elements = [
+                dataclasses.replace(element, top_values=())
+                for element in all_elements
+            ]
+        if not context.config.use_schema_linking:
+            context.schema_elements = list(all_elements)
+            context.add_trace(
+                self.name,
+                f"disabled (ablation): passing full schema "
+                f"({len(all_elements)} elements, catalog order)",
+            )
+            return context
+        # Intent-scoped candidates first (compounding), then the full
+        # catalog so cross-intent questions can still link what they need.
+        by_id = {element.element_id: element for element in all_elements}
+        intent_scoped = knowledge.schema_for_intents(context.intent_ids)
+        ordered = list(
+            dict.fromkeys(
+                [element.element_id for element in intent_scoped]
+                + [element.element_id for element in all_elements]
+            )
+        )
+        candidates = [by_id[eid] for eid in ordered if eid in by_id]
+        # Context expansion (§3.1.1): the selected examples and instructions
+        # inform schema linking — columns they reference must stay linkable.
+        linking_query = context.reformulated
+        if context.config.use_context_expansion:
+            expansion = []
+            for instruction in context.instructions:
+                expansion.append(instruction.text)
+                if instruction.sql_pattern:
+                    expansion.append(instruction.sql_pattern)
+            for example in context.examples[:4]:
+                expansion.append(" ".join(example.columns))
+            if expansion:
+                linking_query = linking_query + "\n" + "\n".join(expansion)
+        context.schema_elements = self._llm.link_schema(
+            linking_query,
+            candidates,
+            k=context.config.schema_top_k,
+            meter=context.meter,
+        )
+        context.add_trace(
+            self.name,
+            f"linked {len(context.schema_elements)} schema elements",
+            elements=[
+                element.qualified_name
+                for element in context.schema_elements[:8]
+            ],
+        )
+        return context

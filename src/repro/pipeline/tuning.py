@@ -1,0 +1,159 @@
+"""Budget-parametrized pipelines (the paper's §5 extension).
+
+The related-work section suggests extending GenEdit "by getting feedback on
+latency or specifying a dollar cost and parametrizing GenEdit pipelines
+differently". This module implements that: three configuration tiers with
+predicted per-question cost/latency (from the simulated model price sheet),
+and :func:`configure_for_budget`, which picks the best tier within a
+dollar and/or latency budget.
+
+Tiers trade retrieval depth, candidate count, and self-correction rounds —
+the knobs that multiply model calls:
+
+* ``quality`` — the deployed defaults (two 4o calls + retries, deep
+  retrieval);
+* ``balanced`` — fewer candidates and retries, slimmer retrieval;
+* ``economy`` — single candidate, no retries, minimal retrieval depth and
+  a tighter context budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..llm.interface import GPT_4O, GPT_4O_MINI
+from .config import DEFAULT_CONFIG, PipelineConfig
+
+#: Representative token volumes of one question's operator calls, measured
+#: on the benchmark workload (see EXPERIMENTS.md). Used only for *predicted*
+#: cost; actual cost is metered per run.
+_TYPICAL_PROMPT_TOKENS = {
+    "reformulate": 60,
+    "classify_intents": 120,
+    "link_schema": 260,
+    "plan": 900,
+    "generate_sql": 1100,
+    "self_correct": 300,
+}
+_TYPICAL_OUTPUT_TOKENS = {
+    "reformulate": 25,
+    "classify_intents": 15,
+    "link_schema": 120,
+    "plan": 160,
+    "generate_sql": 140,
+    "self_correct": 140,
+}
+
+
+@dataclass(frozen=True)
+class PipelineTier:
+    """One point on the cost/quality frontier."""
+
+    name: str
+    config: PipelineConfig
+    description: str
+
+    @property
+    def predicted_cost_usd(self):
+        return estimate_cost(self.config)
+
+    @property
+    def predicted_latency_ms(self):
+        return estimate_latency(self.config)
+
+
+def _call_plan(config):
+    """(operator, model, count) triples one question is expected to make."""
+    calls = [
+        ("reformulate", GPT_4O, 1 if config.use_reformulation else 0),
+        (
+            "classify_intents", GPT_4O,
+            1 if config.use_intent_classification else 0,
+        ),
+        ("link_schema", GPT_4O_MINI, 1 if config.use_schema_linking else 0),
+        ("plan", GPT_4O, 1),
+        ("generate_sql", GPT_4O, 1),
+        # Self-correction fires on a minority of questions; budget for the
+        # configured ceiling at a 30% expected trigger rate.
+        ("self_correct", GPT_4O, 0.3 * config.max_retries),
+    ]
+    return calls
+
+
+def estimate_cost(config):
+    """Predicted per-question dollar cost of a configuration."""
+    scale = config.context_budget_tokens / DEFAULT_CONFIG.context_budget_tokens
+    total = 0.0
+    for operator, model, count in _call_plan(config):
+        prompt_tokens = _TYPICAL_PROMPT_TOKENS[operator]
+        if operator in ("plan", "generate_sql"):
+            prompt_tokens *= scale
+        total += count * (
+            prompt_tokens * model.input_cost_per_million
+            + _TYPICAL_OUTPUT_TOKENS[operator] * model.output_cost_per_million
+        ) / 1_000_000
+    return total
+
+
+def estimate_latency(config):
+    """Predicted per-question latency (ms) of a configuration."""
+    return sum(
+        count * model.latency_ms_per_call
+        for _operator, model, count in _call_plan(config)
+    )
+
+
+QUALITY = PipelineTier(
+    name="quality",
+    config=DEFAULT_CONFIG,
+    description="deployed defaults: deep retrieval, candidates, retries",
+)
+
+BALANCED = PipelineTier(
+    name="balanced",
+    config=replace(
+        DEFAULT_CONFIG,
+        example_top_k=6,
+        instruction_top_k=3,
+        schema_top_k=18,
+        candidate_count=1,
+        max_retries=1,
+    ),
+    description="fewer candidates/retries, slimmer retrieval",
+)
+
+ECONOMY = PipelineTier(
+    name="economy",
+    config=replace(
+        DEFAULT_CONFIG,
+        use_reformulation=False,
+        example_top_k=4,
+        instruction_top_k=2,
+        schema_top_k=12,
+        candidate_count=1,
+        max_retries=0,
+        context_budget_tokens=800,
+    ),
+    description="single candidate, no retries, minimal context",
+)
+
+TIERS = (QUALITY, BALANCED, ECONOMY)
+
+
+def configure_for_budget(max_cost_usd=None, max_latency_ms=None):
+    """Pick the highest-quality tier whose predictions fit the budget.
+
+    Returns the chosen :class:`PipelineTier`. With no constraints the
+    quality tier wins; an unsatisfiable budget returns the economy tier
+    (the cheapest we can offer) — callers can inspect its predictions to
+    decide whether to proceed.
+    """
+    for tier in TIERS:
+        if max_cost_usd is not None and tier.predicted_cost_usd > max_cost_usd:
+            continue
+        if max_latency_ms is not None and (
+            tier.predicted_latency_ms > max_latency_ms
+        ):
+            continue
+        return tier
+    return ECONOMY

@@ -1,0 +1,34 @@
+"""SQL frontend: tokenizer, parser, AST, printer, analyzer, rewriter,
+and the sub-statement decomposer used by GenEdit's knowledge set."""
+
+from .analyzer import AnalysisIssue, Analyzer
+from .decompose import SqlUnit, decompose
+from .errors import (
+    SqlAnalysisError,
+    SqlError,
+    SqlSyntaxError,
+    SqlUnsupportedError,
+)
+from .parser import parse, parse_expression
+from .printer import format_sql, to_sql
+from .rewriter import to_cte_form
+from .tokens import Token, TokenType, tokenize
+
+__all__ = [
+    "AnalysisIssue",
+    "Analyzer",
+    "SqlAnalysisError",
+    "SqlError",
+    "SqlSyntaxError",
+    "SqlUnit",
+    "SqlUnsupportedError",
+    "Token",
+    "TokenType",
+    "decompose",
+    "format_sql",
+    "parse",
+    "parse_expression",
+    "to_cte_form",
+    "to_sql",
+    "tokenize",
+]

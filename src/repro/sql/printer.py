@@ -1,0 +1,363 @@
+"""Render an AST back to SQL text.
+
+Two renderers are provided:
+
+* :func:`to_sql` — compact single-line rendering, used for equality checks,
+  logging, and pseudo-SQL fragments inside CoT plan steps.
+* :func:`format_sql` — pretty multi-line rendering with one clause per line
+  and indented CTE bodies, used when presenting generated SQL to users and
+  when writing examples into the knowledge set.
+
+Both are loss-free over the dialect: ``parse(to_sql(parse(q)))`` produces an
+equivalent tree (verified by the round-trip property tests).
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .errors import SqlUnsupportedError
+
+
+def to_sql(node):
+    """Render ``node`` (query or expression) as compact SQL."""
+    return _render(node)
+
+
+def format_sql(query, indent="  "):
+    """Render a :class:`Query` as pretty, multi-line SQL."""
+    return _PrettyPrinter(indent).render_query(query)
+
+
+# ---------------------------------------------------------------------------
+# Compact renderer
+# ---------------------------------------------------------------------------
+
+
+def _render(node):
+    renderer = _RENDERERS.get(type(node))
+    if renderer is None:
+        raise SqlUnsupportedError(f"Cannot render node {type(node).__name__}")
+    return renderer(node)
+
+
+def _render_literal(node):
+    value = node.value
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float) and value.is_integer():
+        return f"{value:.1f}"
+    return str(value)
+
+
+def _render_column(node):
+    return node.qualified()
+
+
+def _render_star(node):
+    return f"{node.table}.*" if node.table else "*"
+
+
+def _render_unary(node):
+    operand = _render(node.operand)
+    if node.op == "NOT":
+        return f"NOT {_parenthesize_boolean(node.operand, operand)}"
+    return f"{node.op}{_maybe_paren(node.operand, operand)}"
+
+
+_PRECEDENCE = {
+    "OR": 1, "AND": 2,
+    "=": 3, "<>": 3, "<": 3, ">": 3, "<=": 3, ">=": 3,
+    "+": 4, "-": 4, "||": 4,
+    "*": 5, "/": 5, "%": 5,
+}
+
+
+def _render_binary(node):
+    left = _render(node.left)
+    right = _render(node.right)
+    precedence = _PRECEDENCE[node.op]
+    if isinstance(node.left, ast.BinaryOp) and (
+        _PRECEDENCE[node.left.op] < precedence
+    ):
+        left = f"({left})"
+    if isinstance(node.right, ast.BinaryOp) and (
+        _PRECEDENCE[node.right.op] <= precedence
+    ):
+        right = f"({right})"
+    return f"{left} {node.op} {right}"
+
+
+def _maybe_paren(child, rendered):
+    if isinstance(child, (ast.BinaryOp, ast.CaseExpression)):
+        return f"({rendered})"
+    return rendered
+
+
+def _parenthesize_boolean(child, rendered):
+    if isinstance(child, ast.BinaryOp) and child.op in ("AND", "OR"):
+        return f"({rendered})"
+    return rendered
+
+
+def _render_call(node):
+    args = ", ".join(_render(arg) for arg in node.args)
+    distinct = "DISTINCT " if node.distinct else ""
+    return f"{node.name}({distinct}{args})"
+
+
+def _render_window_function(node):
+    return f"{_render(node.function)} OVER {_render(node.window)}"
+
+
+def _render_window_spec(node):
+    parts = []
+    if node.partition_by:
+        exprs = ", ".join(_render(expr) for expr in node.partition_by)
+        parts.append(f"PARTITION BY {exprs}")
+    if node.order_by:
+        items = ", ".join(_render(item) for item in node.order_by)
+        parts.append(f"ORDER BY {items}")
+    return "(" + " ".join(parts) + ")"
+
+
+def _render_case(node):
+    parts = ["CASE"]
+    if node.operand is not None:
+        parts.append(_render(node.operand))
+    for condition, result in node.whens:
+        parts.append(f"WHEN {_render(condition)} THEN {_render(result)}")
+    if node.default is not None:
+        parts.append(f"ELSE {_render(node.default)}")
+    parts.append("END")
+    return " ".join(parts)
+
+
+def _render_cast(node):
+    return f"CAST({_render(node.expr)} AS {node.target_type})"
+
+
+def _render_in_list(node):
+    items = ", ".join(_render(item) for item in node.items)
+    negation = "NOT " if node.negated else ""
+    return f"{_render(node.expr)} {negation}IN ({items})"
+
+
+def _render_in_subquery(node):
+    negation = "NOT " if node.negated else ""
+    return f"{_render(node.expr)} {negation}IN ({_render(node.query)})"
+
+
+def _render_between(node):
+    negation = "NOT " if node.negated else ""
+    return (
+        f"{_render(node.expr)} {negation}BETWEEN "
+        f"{_render(node.low)} AND {_render(node.high)}"
+    )
+
+
+def _render_like(node):
+    negation = "NOT " if node.negated else ""
+    return f"{_render(node.expr)} {negation}LIKE {_render(node.pattern)}"
+
+
+def _render_is_null(node):
+    negation = "NOT " if node.negated else ""
+    return f"{_render(node.expr)} IS {negation}NULL"
+
+
+def _render_exists(node):
+    negation = "NOT " if node.negated else ""
+    return f"{negation}EXISTS ({_render(node.query)})"
+
+
+def _render_scalar_subquery(node):
+    return f"({_render(node.query)})"
+
+
+def _render_select_item(node):
+    rendered = _render(node.expr)
+    if node.alias:
+        return f"{rendered} AS {node.alias}"
+    return rendered
+
+
+def _render_order_item(node):
+    rendered = _render(node.expr)
+    if not node.ascending:
+        rendered += " DESC"
+    if node.nulls_first is True:
+        rendered += " NULLS FIRST"
+    elif node.nulls_first is False:
+        rendered += " NULLS LAST"
+    return rendered
+
+
+def _render_table_ref(node):
+    if node.alias:
+        return f"{node.name} AS {node.alias}"
+    return node.name
+
+
+def _render_subquery_ref(node):
+    return f"({_render(node.query)}) AS {node.alias}"
+
+
+def _render_join(node):
+    left = _render(node.left)
+    right = _render(node.right)
+    if node.kind == "CROSS":
+        return f"{left} CROSS JOIN {right}"
+    keyword = "JOIN" if node.kind == "INNER" else f"{node.kind} JOIN"
+    return f"{left} {keyword} {right} ON {_render(node.condition)}"
+
+
+def _render_select(node):
+    parts = ["SELECT"]
+    if node.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_render(item) for item in node.items))
+    if node.from_clause is not None:
+        parts.append(f"FROM {_render(node.from_clause)}")
+    if node.where is not None:
+        parts.append(f"WHERE {_render(node.where)}")
+    if node.group_by:
+        exprs = ", ".join(_render(expr) for expr in node.group_by)
+        parts.append(f"GROUP BY {exprs}")
+    if node.having is not None:
+        parts.append(f"HAVING {_render(node.having)}")
+    if node.order_by:
+        items = ", ".join(_render(item) for item in node.order_by)
+        parts.append(f"ORDER BY {items}")
+    if node.limit is not None:
+        parts.append(f"LIMIT {node.limit}")
+    if node.offset is not None:
+        parts.append(f"OFFSET {node.offset}")
+    return " ".join(parts)
+
+
+def _render_set_operation(node):
+    keyword = node.op + (" ALL" if node.all else "")
+    rendered = f"{_render(node.left)} {keyword} {_render(node.right)}"
+    if node.order_by:
+        items = ", ".join(_render(item) for item in node.order_by)
+        rendered += f" ORDER BY {items}"
+    if node.limit is not None:
+        rendered += f" LIMIT {node.limit}"
+    return rendered
+
+
+def _render_cte(node):
+    columns = ""
+    if node.columns:
+        columns = "(" + ", ".join(node.columns) + ")"
+    return f"{node.name}{columns} AS ({_render(node.query)})"
+
+
+def _render_query(node):
+    body = _render(node.body)
+    if not node.ctes:
+        return body
+    ctes = ", ".join(_render(cte) for cte in node.ctes)
+    return f"WITH {ctes} {body}"
+
+
+_RENDERERS = {
+    ast.Literal: _render_literal,
+    ast.ColumnRef: _render_column,
+    ast.Star: _render_star,
+    ast.UnaryOp: _render_unary,
+    ast.BinaryOp: _render_binary,
+    ast.FunctionCall: _render_call,
+    ast.WindowFunction: _render_window_function,
+    ast.WindowSpec: _render_window_spec,
+    ast.CaseExpression: _render_case,
+    ast.Cast: _render_cast,
+    ast.InList: _render_in_list,
+    ast.InSubquery: _render_in_subquery,
+    ast.Between: _render_between,
+    ast.Like: _render_like,
+    ast.IsNull: _render_is_null,
+    ast.Exists: _render_exists,
+    ast.ScalarSubquery: _render_scalar_subquery,
+    ast.SelectItem: _render_select_item,
+    ast.OrderItem: _render_order_item,
+    ast.TableRef: _render_table_ref,
+    ast.SubqueryRef: _render_subquery_ref,
+    ast.Join: _render_join,
+    ast.Select: _render_select,
+    ast.SetOperation: _render_set_operation,
+    ast.CommonTableExpression: _render_cte,
+    ast.Query: _render_query,
+}
+
+
+# ---------------------------------------------------------------------------
+# Pretty renderer
+# ---------------------------------------------------------------------------
+
+
+class _PrettyPrinter:
+    def __init__(self, indent):
+        self._indent = indent
+
+    def render_query(self, query, depth=0):
+        lines = []
+        pad = self._indent * depth
+        if query.ctes:
+            lines.append(f"{pad}WITH")
+            for position, cte in enumerate(query.ctes):
+                comma = "," if position < len(query.ctes) - 1 else ""
+                header = cte.name
+                if cte.columns:
+                    header += "(" + ", ".join(cte.columns) + ")"
+                lines.append(f"{pad}{header} AS (")
+                lines.append(self.render_query(cte.query, depth + 1))
+                lines.append(f"{pad}){comma}")
+        lines.append(self._render_body(query.body, depth))
+        return "\n".join(lines)
+
+    def _render_body(self, body, depth):
+        pad = self._indent * depth
+        if isinstance(body, ast.SetOperation):
+            keyword = body.op + (" ALL" if body.all else "")
+            lines = [
+                self._render_body(body.left, depth),
+                f"{pad}{keyword}",
+                self._render_body(body.right, depth),
+            ]
+            if body.order_by:
+                items = ", ".join(_render(item) for item in body.order_by)
+                lines.append(f"{pad}ORDER BY {items}")
+            if body.limit is not None:
+                lines.append(f"{pad}LIMIT {body.limit}")
+            return "\n".join(lines)
+        select = body
+        lines = []
+        head = "SELECT DISTINCT" if select.distinct else "SELECT"
+        items = ",\n".join(
+            f"{pad}{self._indent}{_render(item)}" for item in select.items
+        )
+        lines.append(f"{pad}{head}")
+        lines.append(items)
+        if select.from_clause is not None:
+            lines.append(f"{pad}FROM {_render(select.from_clause)}")
+        if select.where is not None:
+            lines.append(f"{pad}WHERE {_render(select.where)}")
+        if select.group_by:
+            exprs = ", ".join(_render(expr) for expr in select.group_by)
+            lines.append(f"{pad}GROUP BY {exprs}")
+        if select.having is not None:
+            lines.append(f"{pad}HAVING {_render(select.having)}")
+        if select.order_by:
+            rendered = ", ".join(_render(item) for item in select.order_by)
+            lines.append(f"{pad}ORDER BY {rendered}")
+        if select.limit is not None:
+            lines.append(f"{pad}LIMIT {select.limit}")
+        if select.offset is not None:
+            lines.append(f"{pad}OFFSET {select.offset}")
+        return "\n".join(lines)

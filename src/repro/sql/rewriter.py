@@ -1,0 +1,145 @@
+"""Query canonicalisation: rewrite queries into CTE normal form.
+
+GenEdit's pre-processing "first rewrite[s] the queries to use CTEs (WITH
+clause with subqueries)" before decomposing them (§3.2.1). This module does
+that rewrite:
+
+* every derived table ``(SELECT ...) alias`` in a FROM clause is hoisted
+  into a top-level CTE named after its alias;
+* nested WITH clauses (CTEs defined inside subqueries or other CTEs) are
+  flattened to the top level, renamed on collision;
+* the result is a single top-level WITH list, dependency-ordered, whose body
+  contains no derived tables.
+
+Scalar/IN/EXISTS subqueries in expressions are left in place — they are
+part of expression logic, not relational shape, and the decomposer treats
+them as sub-statements.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from . import ast_nodes as ast
+
+
+def to_cte_form(query):
+    """Return a new :class:`Query` in CTE normal form (input not mutated)."""
+    rewriter = _CteRewriter()
+    return rewriter.rewrite(copy.deepcopy(query))
+
+
+class _CteRewriter:
+    def __init__(self):
+        self._ctes = []
+        self._used_names = set()
+
+    def rewrite(self, query):
+        # Hoist existing top-level CTEs first so their names are reserved
+        # before any generated ones.
+        for cte in query.ctes:
+            self._hoist_cte(cte, rename_map={})
+        body = self._rewrite_body(query.body, rename_map={})
+        return ast.Query(body=body, ctes=self._ctes)
+
+    # -- name management -----------------------------------------------------
+
+    def _unique_name(self, base):
+        candidate = base.upper()
+        suffix = 1
+        while candidate in self._used_names:
+            suffix += 1
+            candidate = f"{base.upper()}_{suffix}"
+        self._used_names.add(candidate)
+        return candidate
+
+    def _hoist_cte(self, cte, rename_map):
+        inner_map = dict(rename_map)
+        for nested in cte.query.ctes:
+            self._hoist_cte(nested, inner_map)
+            # _hoist_cte records the (possibly renamed) final name.
+            inner_map[nested.name.upper()] = self._last_hoisted_name
+        body = self._rewrite_body(cte.query.body, inner_map)
+        final_name = self._unique_name(cte.name)
+        rename_map[cte.name.upper()] = final_name
+        self._ctes.append(
+            ast.CommonTableExpression(
+                name=final_name,
+                query=ast.Query(body=body, ctes=[]),
+                columns=list(cte.columns),
+            )
+        )
+        self._last_hoisted_name = final_name
+
+    # -- body rewriting --------------------------------------------------------
+
+    def _rewrite_body(self, body, rename_map):
+        if isinstance(body, ast.SetOperation):
+            body.left = self._rewrite_body(body.left, rename_map)
+            body.right = self._rewrite_body(body.right, rename_map)
+            return body
+        return self._rewrite_select(body, rename_map)
+
+    def _rewrite_select(self, select, rename_map):
+        if select.from_clause is not None:
+            select.from_clause = self._rewrite_from(
+                select.from_clause, rename_map
+            )
+        for node in _expression_roots(select):
+            self._rewrite_expression_subqueries(node, rename_map)
+        return select
+
+    def _rewrite_from(self, node, rename_map):
+        if isinstance(node, ast.TableRef):
+            renamed = rename_map.get(node.name.upper())
+            if renamed:
+                alias = node.alias or node.name
+                return ast.TableRef(name=renamed, alias=alias)
+            return node
+        if isinstance(node, ast.SubqueryRef):
+            return self._hoist_derived(node, rename_map)
+        if isinstance(node, ast.Join):
+            node.left = self._rewrite_from(node.left, rename_map)
+            node.right = self._rewrite_from(node.right, rename_map)
+            if node.condition is not None:
+                self._rewrite_expression_subqueries(node.condition, rename_map)
+            return node
+        return node
+
+    def _hoist_derived(self, subquery_ref, rename_map):
+        inner_map = dict(rename_map)
+        for nested in subquery_ref.query.ctes:
+            self._hoist_cte(nested, inner_map)
+            inner_map[nested.name.upper()] = self._last_hoisted_name
+        body = self._rewrite_body(subquery_ref.query.body, inner_map)
+        name = self._unique_name(subquery_ref.alias or "DERIVED")
+        self._ctes.append(
+            ast.CommonTableExpression(
+                name=name, query=ast.Query(body=body, ctes=[])
+            )
+        )
+        return ast.TableRef(name=name, alias=subquery_ref.alias)
+
+    def _rewrite_expression_subqueries(self, expr, rename_map):
+        """Rename CTE references inside expression-level subqueries."""
+        for node in expr.walk():
+            if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+                query = node.query
+                inner_map = dict(rename_map)
+                for nested in list(query.ctes):
+                    self._hoist_cte(nested, inner_map)
+                    inner_map[nested.name.upper()] = self._last_hoisted_name
+                query.ctes = []
+                query.body = self._rewrite_body(query.body, inner_map)
+
+
+def _expression_roots(select):
+    """Every expression attached directly to a SELECT block."""
+    roots = [item.expr for item in select.items]
+    if select.where is not None:
+        roots.append(select.where)
+    roots.extend(select.group_by)
+    if select.having is not None:
+        roots.append(select.having)
+    roots.extend(item.expr for item in select.order_by)
+    return roots

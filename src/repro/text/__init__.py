@@ -1,0 +1,21 @@
+"""Text substrate: normalisation, TF-IDF vectors, similarity, retrieval."""
+
+from .index import Document, RetrievalIndex, SearchHit
+from .normalize import char_ngrams, ngrams, normalize, stem, tokenize_text
+from .similarity import cosine, jaccard, overlap_coefficient
+from .vectorize import TfIdfVectorizer
+
+__all__ = [
+    "Document",
+    "RetrievalIndex",
+    "SearchHit",
+    "TfIdfVectorizer",
+    "char_ngrams",
+    "cosine",
+    "jaccard",
+    "ngrams",
+    "normalize",
+    "overlap_coefficient",
+    "stem",
+    "tokenize_text",
+]

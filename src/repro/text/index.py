@@ -1,0 +1,125 @@
+"""Retrieval index combining an inverted index with TF-IDF re-ranking.
+
+:class:`RetrievalIndex` is the workhorse behind every knowledge-set
+retrieval operator: documents (examples, instructions, schema elements) are
+added with an id, text, and optional metadata; queries return the top-k ids
+by cosine similarity, optionally restricted to a candidate subset (which is
+how intent-keyed retrieval composes with similarity re-ranking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .normalize import normalize
+from .similarity import cosine
+from .vectorize import TfIdfVectorizer
+
+
+@dataclass
+class Document:
+    """An indexed document."""
+
+    doc_id: str
+    text: str
+    metadata: dict = field(default_factory=dict)
+    vector: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One retrieval result."""
+
+    doc_id: str
+    score: float
+    document: Document
+
+
+class RetrievalIndex:
+    """Inverted index + vector re-ranking over a document collection."""
+
+    def __init__(self):
+        self._documents = {}
+        self._inverted = {}
+        self._vectorizer = TfIdfVectorizer()
+        self._dirty = False
+
+    def __len__(self):
+        return len(self._documents)
+
+    def __contains__(self, doc_id):
+        return doc_id in self._documents
+
+    def add(self, doc_id, text, metadata=None):
+        """Add (or replace) a document. Vectors refresh lazily on search."""
+        self._documents[doc_id] = Document(
+            doc_id=doc_id, text=text, metadata=dict(metadata or {})
+        )
+        self._dirty = True
+
+    def remove(self, doc_id):
+        self._documents.pop(doc_id, None)
+        self._dirty = True
+
+    def get(self, doc_id):
+        return self._documents.get(doc_id)
+
+    def documents(self):
+        return list(self._documents.values())
+
+    # -- search ----------------------------------------------------------
+
+    def search(self, query, k=10, candidates=None, extra_text=""):
+        """Top-k documents for ``query`` by cosine similarity.
+
+        ``candidates`` restricts scoring to those ids (used for intent-keyed
+        retrieval followed by re-ranking). ``extra_text`` is appended to the
+        query before embedding — this implements the paper's *context
+        expansion*, where previously selected knowledge (e.g. the chosen
+        examples) expands the query used to re-rank the next component.
+        """
+        self._refresh()
+        query_text = query if not extra_text else f"{query}\n{extra_text}"
+        query_vector = self._vectorizer.transform(query_text)
+        pool = self._candidate_pool(query_text, candidates)
+        hits = []
+        for doc_id in pool:
+            document = self._documents[doc_id]
+            score = cosine(query_vector, document.vector)
+            hits.append(SearchHit(doc_id, score, document))
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return hits[:k]
+
+    def score(self, query, doc_id):
+        """Similarity of one document to ``query``."""
+        self._refresh()
+        document = self._documents.get(doc_id)
+        if document is None:
+            return 0.0
+        return cosine(self._vectorizer.transform(query), document.vector)
+
+    def _candidate_pool(self, query_text, candidates):
+        if candidates is not None:
+            return [doc_id for doc_id in candidates if doc_id in self._documents]
+        # Inverted-index pre-filter: documents sharing at least one term.
+        terms = set(normalize(query_text))
+        pool = set()
+        for term in terms:
+            pool.update(self._inverted.get(term, ()))
+        if not pool:  # fall back to scanning everything (small collections)
+            return list(self._documents)
+        return sorted(pool)
+
+    def _refresh(self):
+        if not self._dirty:
+            return
+        self._vectorizer = TfIdfVectorizer()
+        self._vectorizer.fit(
+            document.text for document in self._documents.values()
+        )
+        self._inverted = {}
+        for doc_id, document in self._documents.items():
+            document.vector = self._vectorizer.transform(document.text)
+            for term in set(normalize(document.text)):
+                self._inverted.setdefault(term, set()).add(doc_id)
+        self._dirty = False

@@ -1,0 +1,38 @@
+"""Similarity measures over sparse vectors and token sets."""
+
+from __future__ import annotations
+
+import math
+
+
+def cosine(left, right):
+    """Cosine similarity of two sparse dicts (0.0 when either is empty)."""
+    if not left or not right:
+        return 0.0
+    if len(right) < len(left):
+        left, right = right, left
+    dot = sum(value * right.get(term, 0.0) for term, value in left.items())
+    # Vectors from TfIdfVectorizer.transform are already L2-normalised, but
+    # recompute defensively so raw count dicts also work.
+    left_norm = math.sqrt(sum(value * value for value in left.values()))
+    right_norm = math.sqrt(sum(value * value for value in right.values()))
+    if left_norm == 0 or right_norm == 0:
+        return 0.0
+    return dot / (left_norm * right_norm)
+
+
+def jaccard(left, right):
+    """Jaccard similarity of two iterables treated as sets."""
+    left_set, right_set = set(left), set(right)
+    if not left_set and not right_set:
+        return 0.0
+    union = left_set | right_set
+    return len(left_set & right_set) / len(union)
+
+
+def overlap_coefficient(left, right):
+    """Szymkiewicz–Simpson overlap: |A∩B| / min(|A|,|B|)."""
+    left_set, right_set = set(left), set(right)
+    if not left_set or not right_set:
+        return 0.0
+    return len(left_set & right_set) / min(len(left_set), len(right_set))

@@ -1,0 +1,73 @@
+"""Sparse TF-IDF vectorisation.
+
+This is the reproduction's stand-in for the embedding model behind the
+paper's cosine-similarity re-ranking (§3.1.1). Vectors are sparse dicts
+(term -> weight) combining word unigrams, word bigrams, and character
+trigrams, so both lexical and fuzzy matches contribute. The vectoriser is
+fit once over a corpus (the knowledge set) and then embeds queries against
+that corpus's document frequencies — mirroring how a fixed embedding model
+is applied to both sides.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from .normalize import char_ngrams, ngrams, normalize
+
+
+class TfIdfVectorizer:
+    """Fit on a corpus of texts; transform texts to sparse weight dicts."""
+
+    def __init__(self, use_bigrams=True, use_char_ngrams=True):
+        self.use_bigrams = use_bigrams
+        self.use_char_ngrams = use_char_ngrams
+        self._document_frequency = Counter()
+        self._document_count = 0
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit(self, texts):
+        """Accumulate document frequencies from ``texts``. Returns self."""
+        for text in texts:
+            self._document_count += 1
+            for term in set(self._terms(text)):
+                self._document_frequency[term] += 1
+        return self
+
+    @property
+    def is_fitted(self):
+        return self._document_count > 0
+
+    # -- transforming ----------------------------------------------------------
+
+    def transform(self, text):
+        """Embed ``text`` as a sparse, L2-normalised TF-IDF dict."""
+        counts = Counter(self._terms(text))
+        if not counts:
+            return {}
+        vector = {}
+        for term, count in counts.items():
+            weight = (1.0 + math.log(count)) * self._idf(term)
+            if weight > 0:
+                vector[term] = weight
+        norm = math.sqrt(sum(value * value for value in vector.values()))
+        if norm == 0:
+            return {}
+        return {term: value / norm for term, value in vector.items()}
+
+    def _idf(self, term):
+        # Smoothed IDF; unseen terms get the maximum weight so novel
+        # domain words (e.g. 'qoqfp') dominate similarity when present.
+        frequency = self._document_frequency.get(term, 0)
+        return math.log((1 + self._document_count) / (1 + frequency)) + 1.0
+
+    def _terms(self, text):
+        tokens = normalize(text)
+        terms = list(tokens)
+        if self.use_bigrams:
+            terms.extend(ngrams(tokens, 2))
+        if self.use_char_ngrams:
+            terms.extend(char_ngrams(text, 3))
+        return terms

@@ -1,0 +1,219 @@
+"""Benchmark substrate tests: schemas, workloads, metrics, baselines."""
+
+import pytest
+
+from repro.bench import (
+    BUCKET_SIZES,
+    DATABASE_NAMES,
+    build_all,
+    build_enterprise_workload,
+    execution_match,
+)
+from repro.bench.metrics import EvaluationReport, QuestionOutcome
+from repro.engine import Executor
+from repro.sql.parser import parse
+
+
+class TestSchemas:
+    def test_six_databases(self):
+        assert len(DATABASE_NAMES) == 6
+        assert "sports_holdings" in DATABASE_NAMES
+
+    def test_deterministic_across_builds(self):
+        first = build_all(seed=99)["retail_chain"].database
+        build_all.cache_clear()
+        second = build_all(seed=99)["retail_chain"].database
+        assert first.table("ORDERS").rows == second.table("ORDERS").rows
+        build_all.cache_clear()
+
+    def test_every_table_has_rows(self):
+        for profile in build_all().values():
+            for table in profile.database.tables:
+                assert len(table) > 0, table.name
+
+    def test_glossary_patterns_reference_real_columns(self):
+        for profile in build_all().values():
+            for entry in profile.glossary:
+                if entry.sql_pattern.startswith("RATIO_DELTA"):
+                    continue
+                for table_name in entry.tables:
+                    table = profile.database.table(table_name)
+                    # the pattern only uses columns of its table
+                    sql = f"SELECT {entry.sql_pattern} FROM {table_name}"
+                    Executor(profile.database).execute(sql)
+
+    def test_guideline_predicates_execute(self):
+        for profile in build_all().values():
+            for entry in profile.guidelines:
+                if not entry.sql_pattern or "=" not in entry.sql_pattern:
+                    continue
+                if entry.sql_pattern.startswith("-1"):
+                    continue
+                if "TO_CHAR" in entry.sql_pattern:
+                    continue
+                for table_name in entry.tables:
+                    table = profile.database.table(table_name)
+                    column = entry.sql_pattern.split(" ")[0]
+                    if table.has_column(column):
+                        Executor(profile.database).execute(
+                            f"SELECT COUNT(*) FROM {table_name} "
+                            f"WHERE {entry.sql_pattern}"
+                        )
+
+    def test_sports_viewership_is_catalog_tail(self):
+        profile = build_all()["sports_holdings"]
+        assert profile.database.tables[-1].name == "SPORTS_VIEWERSHIP"
+
+    def test_date_columns_exist_and_are_dates(self):
+        for profile in build_all().values():
+            for table_name, column in profile.date_columns.items():
+                assert profile.database.table(table_name).column(
+                    column
+                ).type == "DATE"
+
+
+class TestWorkload:
+    def test_bucket_sizes_match_paper(self, experiment_context):
+        workload = experiment_context.workload
+        for difficulty, size in BUCKET_SIZES.items():
+            assert len(workload.by_difficulty(difficulty)) == size
+
+    def test_gold_sql_parses_and_executes(self, experiment_context):
+        for question in experiment_context.workload.questions:
+            parse(question.gold_sql)
+            database = experiment_context.profiles[
+                question.database
+            ].database
+            Executor(database).execute(question.gold_sql)
+
+    def test_question_ids_unique(self, experiment_context):
+        ids = [q.question_id for q in experiment_context.workload.questions]
+        assert len(ids) == len(set(ids))
+
+    def test_every_database_contributes(self, experiment_context):
+        databases = {
+            question.database
+            for question in experiment_context.workload.questions
+        }
+        assert databases == set(DATABASE_NAMES)
+
+    def test_training_logs_execute(self, experiment_context):
+        for name, log in experiment_context.workload.training_logs.items():
+            database = experiment_context.profiles[name].database
+            assert len(log) >= 8
+            for entry in log:
+                Executor(database).execute(entry.sql)
+
+    def test_trap_questions_present(self, experiment_context):
+        features = set()
+        for question in experiment_context.workload.questions:
+            features.update(question.features)
+        assert "trap:vague" in features
+        assert "trap:unknown-adjective" in features
+        assert "trap:term-synonym" in features
+
+    def test_workload_deterministic(self, experiment_context):
+        from repro.bench import build_workload
+
+        rebuilt = build_workload()
+        assert [q.question for q in rebuilt.questions] == [
+            q.question for q in experiment_context.workload.questions
+        ]
+
+    def test_enterprise_workload(self):
+        workload = build_enterprise_workload()
+        assert len(workload.questions) == 24
+        assert all(
+            question.database == "sports_holdings"
+            for question in workload.questions
+        )
+        ratio_questions = [
+            question for question in workload.questions
+            if "kind:ratio-delta" in question.features
+        ]
+        assert len(ratio_questions) == 12
+
+
+class TestMetrics:
+    def test_execution_match_true(self, demo_db):
+        assert execution_match(
+            demo_db,
+            "SELECT COUNT(*) FROM EMP",
+            "SELECT COUNT(EMP_ID) FROM EMP",
+        )
+
+    def test_execution_match_order_insensitive(self, demo_db):
+        assert execution_match(
+            demo_db,
+            "SELECT DEPT_ID FROM DEPT ORDER BY DEPT_ID DESC",
+            "SELECT DEPT_ID FROM DEPT ORDER BY DEPT_ID",
+        )
+
+    def test_execution_match_false_on_wrong_result(self, demo_db):
+        assert not execution_match(
+            demo_db, "SELECT COUNT(*) FROM EMP", "SELECT COUNT(*) FROM DEPT"
+        )
+
+    def test_broken_prediction_is_wrong_not_crash(self, demo_db):
+        assert not execution_match(
+            demo_db, "SELECT nope FROM EMP", "SELECT COUNT(*) FROM EMP"
+        )
+        assert not execution_match(
+            demo_db, "", "SELECT COUNT(*) FROM EMP"
+        )
+
+    def test_broken_gold_raises(self, demo_db):
+        with pytest.raises(AssertionError):
+            execution_match(demo_db, "SELECT 1", "SELECT nope FROM EMP")
+
+    def test_report_buckets(self):
+        report = EvaluationReport("sys")
+        report.add(QuestionOutcome("q1", "simple", "db", True, "", ""))
+        report.add(QuestionOutcome("q2", "simple", "db", False, "", ""))
+        report.add(QuestionOutcome("q3", "moderate", "db", True, "", ""))
+        assert report.accuracy("simple") == 50.0
+        assert report.accuracy() == pytest.approx(200 / 3)
+        assert report.counts("simple") == (1, 2)
+        assert len(report.failures()) == 1
+        simple, moderate, challenging, total = report.row()
+        assert challenging == 0.0
+
+
+class TestBaselineConfigs:
+    def test_baseline_registry(self):
+        from repro.bench.baselines import BASELINES
+
+        names = [spec.name for spec in BASELINES]
+        assert names == ["CHESS", "MAC-SQL", "TA-SQL", "DAIL-SQL", "C3-SQL"]
+
+    def test_no_knowledge_baselines_lack_instructions(self):
+        from repro.bench.baselines import C3_CONFIG, MAC_CONFIG, TA_CONFIG
+
+        for config in (C3_CONFIG, MAC_CONFIG, TA_CONFIG):
+            assert not config.use_instructions
+
+    def test_schema_maximal_flattens_ratio(self, experiment_context):
+        from repro.bench.baselines import build_schema_maximal
+
+        profile = experiment_context.profiles["sports_holdings"]
+        knowledge = experiment_context.knowledge_sets["sports_holdings"]
+        pipeline = build_schema_maximal(profile.database, knowledge)
+        result = pipeline.generate(
+            "Identify our 5 sports organisations with the best and worst "
+            "QoQFP in Canada for Q2 2023"
+        )
+        assert "complexity-ceiling:flattened-ratio-delta" in result.plan.issues
+        assert "NULLIF" not in result.sql  # the ratio is gone
+
+    def test_schema_maximal_handles_single_pivot(self, experiment_context):
+        from repro.bench.baselines import build_schema_maximal
+
+        profile = experiment_context.profiles["energy_grid"]
+        knowledge = experiment_context.knowledge_sets["energy_grid"]
+        pipeline = build_schema_maximal(profile.database, knowledge)
+        result = pipeline.generate(
+            "Show me the 3 zones with the largest increase in total "
+            "output versus the previous quarter for Q2 2023"
+        )
+        assert result.success
+        assert "CASE WHEN" in result.sql

@@ -1,0 +1,99 @@
+"""CLI tests (the analytics-engine veneer)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_arg_parser, cmd_ask, cmd_knowledge, cmd_solve, main
+
+
+class TestArgParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args([])
+
+    def test_ask_args(self):
+        args = build_arg_parser().parse_args(
+            ["ask", "sports_holdings", "How many orgs?", "--trace"]
+        )
+        assert args.database == "sports_holdings"
+        assert args.trace and not args.plan
+
+    def test_bench_choices(self):
+        args = build_arg_parser().parse_args(["bench", "table1"])
+        assert args.experiment == "table1"
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["bench", "nope"])
+
+
+class TestCommands:
+    def test_unknown_database_exits(self):
+        args = build_arg_parser().parse_args(["ask", "nope", "q"])
+        with pytest.raises(SystemExit, match="Unknown database"):
+            cmd_ask(args)
+
+    def test_ask_prints_sql_and_result(self):
+        out = io.StringIO()
+        code = main_like(
+            ["ask", "sports_holdings",
+             "How many sports organisations are in Canada?"],
+            out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "-- SQL --" in text
+        assert "COUNT(*)" in text
+        assert "-- result --" in text
+
+    def test_ask_with_trace_and_plan(self):
+        out = io.StringIO()
+        main_like(
+            ["ask", "sports_holdings", "What is the total revenue?",
+             "--trace", "--plan"],
+            out,
+        )
+        text = out.getvalue()
+        assert "operator trace" in text
+        assert "Step 1:" in text
+
+    def test_knowledge_overview(self):
+        out = io.StringIO()
+        args = build_arg_parser().parse_args(["knowledge", "retail_chain"])
+        assert cmd_knowledge(args, out=out) == 0
+        text = out.getvalue()
+        assert "intents:" in text
+        assert "AOV" in text
+
+    def test_solver_repl_scripted_session(self):
+        out = io.StringIO()
+        script = iter(
+            [
+                "ask What is the average outlay?",
+                "feedback 'outlay' refers to the EXPENSES column in "
+                "SPORTS_FINANCIALS.",
+                "stage",
+                "regen",
+                "submit",
+                "approve",
+                "library",
+                "badcommand",
+                "quit",
+            ]
+        )
+        args = build_arg_parser().parse_args(["solve", "sports_holdings"])
+        code = cmd_solve(args, out=out, input_fn=lambda _prompt: next(script))
+        text = out.getvalue()
+        assert code == 0
+        assert "recommended:" in text
+        assert "staged 1 edit(s)" in text
+        assert "AVG(EXPENSES)" in text
+        assert "PASS" in text
+        assert "merged" in text
+        assert "unknown command" in text
+
+
+def main_like(argv, out):
+    """Run a CLI command with stdout captured via the out= hook."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out=out)

@@ -1,0 +1,204 @@
+"""Cross-cutting edge cases collected during calibration."""
+
+import pytest
+
+from repro.engine import Column, Database, Executor
+from repro.pipeline.prompt import (
+    assemble_prompt,
+    render_example,
+    render_instruction,
+    render_schema_element,
+)
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+
+
+class TestExecutorEdges:
+    def test_empty_table_queries(self):
+        db = Database("e")
+        db.create_table("T", [Column("A", "INTEGER")])
+        executor = Executor(db)
+        assert executor.execute("SELECT * FROM T").rows == []
+        assert executor.execute("SELECT COUNT(*) FROM T").rows == [(0,)]
+        assert executor.execute(
+            "SELECT A, COUNT(*) FROM T GROUP BY A"
+        ).rows == []
+
+    def test_division_by_zero_yields_null_row(self, executor):
+        result = executor.execute("SELECT 1 / 0")
+        assert result.rows == [(None,)]
+
+    def test_nullif_guard_pattern(self, executor):
+        result = executor.execute(
+            "SELECT CAST(SUM(SALARY) AS FLOAT) / NULLIF(COUNT(*), 0) FROM EMP "
+            "WHERE SALARY > 10000"
+        )
+        assert result.rows == [(None,)]
+
+    def test_string_comparison_case_sensitive_equality(self, executor):
+        exact = executor.execute(
+            "SELECT 1 FROM DEPT WHERE REGION = 'West'"
+        ).rows
+        wrong_case = executor.execute(
+            "SELECT 1 FROM DEPT WHERE REGION = 'west'"
+        ).rows
+        assert len(exact) == 2 and wrong_case == []
+
+    def test_like_with_underscore_wildcard(self, executor):
+        result = executor.execute(
+            "SELECT EMP_NAME FROM EMP WHERE EMP_NAME LIKE 'A_a'"
+        )
+        assert {row[0] for row in result.rows} == {"Ada"}
+
+    def test_in_list_with_null_semantics(self, executor):
+        # NULL IN (...) is never true
+        result = executor.execute(
+            "SELECT COUNT(*) FROM EMP WHERE SALARY IN (70, NULL)"
+        )
+        assert result.rows == [(1,)]
+
+    def test_not_in_with_null_rejects_all(self, executor):
+        result = executor.execute(
+            "SELECT COUNT(*) FROM EMP WHERE SALARY NOT IN (70, NULL)"
+        )
+        assert result.rows == [(0,)]
+
+    def test_order_by_expression_not_in_select(self, executor):
+        result = executor.execute(
+            "SELECT EMP_NAME FROM EMP WHERE SALARY IS NOT NULL "
+            "ORDER BY SALARY * -1 LIMIT 1"
+        )
+        assert result.rows == [("Grace",)]
+
+    def test_between_text(self, executor):
+        result = executor.execute(
+            "SELECT COUNT(*) FROM EMP WHERE EMP_NAME BETWEEN 'A' AND 'B'"
+        )
+        assert result.rows == [(2,)]  # Ada, Alan
+
+    def test_nested_case(self, executor):
+        result = executor.execute(
+            "SELECT SUM(CASE WHEN ACTIVE THEN CASE WHEN SALARY > 100 "
+            "THEN 1 ELSE 0 END ELSE 0 END) FROM EMP"
+        )
+        assert result.rows == [(2,)]
+
+    def test_union_of_ctes(self, executor):
+        result = executor.execute(
+            "WITH a AS (SELECT 1 AS x), b AS (SELECT 2 AS x) "
+            "SELECT x FROM a UNION ALL SELECT x FROM b"
+        )
+        assert sorted(row[0] for row in result.rows) == [1, 2]
+
+    def test_self_join_with_aliases(self, executor):
+        result = executor.execute(
+            "SELECT COUNT(*) FROM EMP a JOIN EMP b "
+            "ON a.DEPT_ID = b.DEPT_ID AND a.EMP_ID < b.EMP_ID"
+        )
+        assert result.rows == [(3,)]  # one pair per department
+
+    def test_window_with_null_order_values(self, executor):
+        result = executor.execute(
+            "SELECT EMP_NAME, ROW_NUMBER() OVER (ORDER BY SALARY DESC) AS r "
+            "FROM EMP ORDER BY r"
+        )
+        # NULL salary sorts first under DESC (nulls-first) but every row ranks
+        assert len(result.rows) == 6
+        assert {row[1] for row in result.rows} == set(range(1, 7))
+
+
+class TestParserPrinterEdges:
+    def test_deeply_nested_parentheses(self):
+        sql = "SELECT ((((1))))"
+        assert to_sql(parse(sql)) == "SELECT 1"
+
+    def test_keywordish_type_names_as_identifiers(self):
+        query = parse("SELECT t.DATE FROM t")
+        assert to_sql(query) == "SELECT t.DATE FROM t"
+
+    def test_boolean_operator_chain_precedence_preserved(self, executor):
+        sql = (
+            "SELECT COUNT(*) FROM EMP WHERE "
+            "(DEPT_ID = 1 OR DEPT_ID = 2) AND ACTIVE"
+        )
+        round_tripped = to_sql(parse(sql))
+        assert executor.execute(sql).rows == executor.execute(
+            round_tripped
+        ).rows
+
+    def test_unary_minus_of_parenthesised_expression(self):
+        rendered = to_sql(parse("SELECT -1 * (a - b) FROM t"))
+        assert rendered == "SELECT -1 * (a - b) FROM t"
+
+
+class TestPromptRendering:
+    def test_render_instruction_includes_pattern(self):
+        from repro.knowledge import Instruction
+
+        instruction = Instruction(
+            "i", "use COC flag", sql_pattern="OWNERSHIP = 'COC'"
+        )
+        rendered = render_instruction(instruction)
+        assert rendered.startswith("- ")
+        assert "=> OWNERSHIP = 'COC'" in rendered
+
+    def test_ratio_dsl_pattern_not_leaked_into_prompt(self):
+        from repro.knowledge import Instruction
+
+        instruction = Instruction(
+            "i", "QoQFP definition",
+            sql_pattern="RATIO_DELTA numerator=A.B.C entity=D",
+        )
+        rendered = render_instruction(instruction)
+        assert "RATIO_DELTA" not in rendered
+
+    def test_render_example_pseudo_sql(self):
+        from repro.knowledge import DecomposedExample
+
+        example = DecomposedExample("e", "filter by country",
+                                    "WHERE C = 'x'")
+        rendered = render_example(example)
+        assert "... WHERE C = 'x' ..." in rendered
+
+    def test_render_schema_element_with_values(self):
+        from repro.knowledge import SchemaElement
+
+        element = SchemaElement(
+            "s", "T", "C", "TEXT", "A column.", top_values=("a", "b")
+        )
+        rendered = render_schema_element(element)
+        assert "T.C TEXT" in rendered and "[top: a, b]" in rendered
+
+    def test_assemble_prompt_survivor_tracking(self):
+        from repro.knowledge import SchemaElement
+
+        elements = [
+            SchemaElement(f"s{i}", "T", f"C{i}", "TEXT", "x" * 120)
+            for i in range(20)
+        ]
+        fitted = assemble_prompt(
+            "question", [], [], elements, budget_tokens=300
+        )
+        assert len(fitted.schema_elements) < 20
+        assert fitted.dropped.get("Schema", 0) > 0
+        # survivors are a prefix of the input ordering
+        assert fitted.schema_elements == elements[: len(fitted.schema_elements)]
+
+
+class TestSimulatedLlmEdges:
+    def test_reformulate_idempotent(self):
+        from repro.llm.simulated import SimulatedLLM
+
+        llm = SimulatedLLM()
+        once = llm.reformulate("What is the total revenue?")
+        assert llm.reformulate(once) == once
+
+    def test_grounding_with_empty_context_degrades(self):
+        from repro.llm.grounding import Grounder, GroundingInput
+        from repro.pipeline.nlparse import parse_question
+
+        candidates = Grounder().ground(
+            parse_question("What is the total revenue?"),
+            GroundingInput(database_name="d"),
+        )
+        assert candidates[0].issues  # no schema context recorded

@@ -1,0 +1,113 @@
+"""Table storage, catalog, and value-profiling tests."""
+
+import pytest
+
+from repro.engine import Column, Database, Table, profile_table
+from repro.engine.errors import (
+    TypeMismatchError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+
+class TestColumn:
+    def test_type_canonicalised(self):
+        assert Column("X", "varchar").type == "TEXT"
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Column("X", "BLOB")
+
+
+class TestTable:
+    def test_insert_and_len(self):
+        table = Table("T", [Column("A", "INTEGER")], rows=[(1,), (2,)])
+        assert len(table) == 2
+
+    def test_insert_dict_row(self):
+        table = Table("T", [Column("A", "INTEGER"), Column("B", "TEXT")])
+        table.insert({"B": "x", "A": 1})
+        assert table.rows == [(1, "x")]
+
+    def test_arity_checked(self):
+        table = Table("T", [Column("A", "INTEGER")])
+        with pytest.raises(TypeMismatchError):
+            table.insert((1, 2))
+
+    def test_type_checked(self):
+        table = Table("T", [Column("A", "INTEGER")])
+        with pytest.raises(TypeMismatchError):
+            table.insert(("nope",))
+
+    def test_int_widens_into_float(self):
+        table = Table("T", [Column("A", "FLOAT")], rows=[(3,)])
+        assert table.rows[0][0] == 3.0
+
+    def test_null_always_allowed(self):
+        table = Table("T", [Column("A", "INTEGER")], rows=[(None,)])
+        assert table.rows[0][0] is None
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Table("T", [Column("A", "INTEGER"), Column("a", "TEXT")])
+
+    def test_column_lookup(self):
+        table = Table("T", [Column("A", "INTEGER")])
+        assert table.column_position("a") == 0
+        assert table.has_column("A")
+        with pytest.raises(UnknownColumnError):
+            table.column_position("B")
+
+    def test_top_values_by_frequency_then_text(self):
+        table = Table(
+            "T", [Column("C", "TEXT")],
+            rows=[("b",), ("a",), ("a",), ("c",), ("b",), ("a",), (None,)],
+        )
+        assert table.top_values("C", 2) == ["a", "b"]
+
+    def test_top_values_ignores_nulls(self):
+        table = Table("T", [Column("C", "TEXT")], rows=[(None,), ("x",)])
+        assert table.top_values("C") == ["x"]
+
+    def test_profile(self):
+        table = Table(
+            "T", [Column("A", "INTEGER"), Column("B", "TEXT")],
+            rows=[(1, "x"), (2, "x")],
+        )
+        profile = profile_table(table)
+        assert profile.row_count == 2
+        assert profile.column_types == {"A": "INTEGER", "B": "TEXT"}
+        assert profile.top_values["B"] == ["x"]
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database("d")
+        db.create_table("T", [Column("A", "INTEGER")])
+        assert db.has_table("t")
+        assert db.table("T").name == "T"
+
+    def test_unknown_table_error_lists_known(self):
+        db = Database("d")
+        db.create_table("KNOWN", [Column("A", "INTEGER")])
+        with pytest.raises(UnknownTableError, match="KNOWN"):
+            db.table("nope")
+
+    def test_tables_in_creation_order(self):
+        db = Database("d")
+        db.create_table("ZEBRA", [Column("A", "INTEGER")])
+        db.create_table("APPLE", [Column("A", "INTEGER")])
+        assert [t.name for t in db.tables] == ["ZEBRA", "APPLE"]
+
+    def test_schema_text_includes_values(self):
+        db = Database("d")
+        db.create_table(
+            "T", [Column("C", "TEXT", "A column.")], rows=[("v",)]
+        )
+        text = db.schema_text(include_values=True)
+        assert "TABLE T" in text and "'v'" in text and "A column." in text
+
+    def test_profiles(self):
+        db = Database("d")
+        db.create_table("T", [Column("A", "INTEGER")], rows=[(1,)])
+        assert db.profiles()["T"].row_count == 1

@@ -1,0 +1,213 @@
+"""Value semantics tests: NULLs, comparison, arithmetic, CAST, ordering."""
+
+import datetime
+
+import pytest
+
+from repro.engine.errors import TypeMismatchError
+from repro.engine import values
+
+
+class TestTypeOf:
+    @pytest.mark.parametrize("value,expected", [
+        (1, "INTEGER"), (1.5, "FLOAT"), ("x", "TEXT"), (True, "BOOLEAN"),
+        (datetime.date(2023, 1, 1), "DATE"),
+    ])
+    def test_types(self, value, expected):
+        assert values.type_of(value) == expected
+
+    def test_null_has_no_type(self):
+        assert values.type_of(None) is None
+
+    def test_unsupported_value_raises(self):
+        with pytest.raises(TypeMismatchError):
+            values.type_of([1, 2])
+
+    def test_canonical_type_aliases(self):
+        assert values.canonical_type("varchar") == "TEXT"
+        assert values.canonical_type("BIGINT") == "INTEGER"
+        assert values.canonical_type("double") == "FLOAT"
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            values.canonical_type("BLOB")
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert values.logical_and(True, True) is True
+        assert values.logical_and(True, False) is False
+        assert values.logical_and(False, None) is False
+        assert values.logical_and(True, None) is None
+        assert values.logical_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert values.logical_or(False, False) is False
+        assert values.logical_or(False, True) is True
+        assert values.logical_or(True, None) is True
+        assert values.logical_or(False, None) is None
+
+    def test_not(self):
+        assert values.logical_not(True) is False
+        assert values.logical_not(None) is None
+
+    def test_is_true_rejects_null(self):
+        assert values.is_true(True)
+        assert not values.is_true(None)
+        assert not values.is_true(False)
+
+
+class TestCompare:
+    def test_numeric_cross_type(self):
+        assert values.compare(1, 1.0) == 0
+        assert values.compare(1, 2.5) == -1
+
+    def test_null_propagates(self):
+        assert values.compare(None, 1) is None
+        assert values.compare(1, None) is None
+
+    def test_text(self):
+        assert values.compare("a", "b") == -1
+
+    def test_dates(self):
+        assert values.compare(
+            datetime.date(2023, 1, 1), datetime.date(2023, 6, 1)
+        ) == -1
+
+    def test_number_vs_numeric_text(self):
+        assert values.compare(5, "5") == 0
+        assert values.compare(5, "6") == -1
+
+    def test_number_vs_non_numeric_text_compares_as_text(self):
+        assert values.compare(5, "abc") == -1  # "5" < "abc"
+
+    def test_date_vs_iso_text(self):
+        assert values.compare(
+            datetime.date(2023, 1, 1), "2023-01-01"
+        ) == 0
+
+    def test_bools_compare_as_ints(self):
+        assert values.compare(True, False) == 1
+        assert values.compare(True, 1) == 0
+
+    def test_equals(self):
+        assert values.equals(1, 1) is True
+        assert values.equals(1, 2) is False
+        assert values.equals(None, 1) is None
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert values.arithmetic("+", 2, 3) == 5
+        assert values.arithmetic("-", 2, 3) == -1
+        assert values.arithmetic("*", 2, 3) == 6
+        assert values.arithmetic("%", 7, 3) == 1
+
+    def test_division_yields_float(self):
+        assert values.arithmetic("/", 7, 2) == 3.5
+
+    def test_division_by_zero_is_null(self):
+        assert values.arithmetic("/", 1, 0) is None
+        assert values.arithmetic("%", 1, 0) is None
+
+    def test_null_propagation(self):
+        assert values.arithmetic("+", None, 1) is None
+        assert values.arithmetic("*", 1, None) is None
+
+    def test_concat_operator(self):
+        assert values.arithmetic("||", "a", "b") == "ab"
+        assert values.arithmetic("||", "n=", 5) == "n=5"
+
+    def test_numeric_text_coerced(self):
+        assert values.arithmetic("+", "2", 3) == 5
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(TypeMismatchError):
+            values.arithmetic("+", "abc", 1)
+
+    def test_bool_coerces_to_int(self):
+        assert values.arithmetic("+", True, True) == 2
+
+
+class TestCast:
+    def test_cast_null(self):
+        assert values.cast_value(None, "INTEGER") is None
+
+    @pytest.mark.parametrize("value,target,expected", [
+        (1.9, "INTEGER", 1),
+        ("42", "INTEGER", 42),
+        (3, "FLOAT", 3.0),
+        ("2.5", "FLOAT", 2.5),
+        (5, "TEXT", "5"),
+        (True, "TEXT", "TRUE"),
+        ("true", "BOOLEAN", True),
+        ("0", "BOOLEAN", False),
+        (1, "BOOLEAN", True),
+        ("2023-04-05", "DATE", datetime.date(2023, 4, 5)),
+    ])
+    def test_casts(self, value, target, expected):
+        assert values.cast_value(value, target) == expected
+
+    def test_bad_casts_raise(self):
+        with pytest.raises(TypeMismatchError):
+            values.cast_value("abc", "INTEGER")
+        with pytest.raises(TypeMismatchError):
+            values.cast_value("not-a-date", "DATE")
+
+    def test_render_text_forms(self):
+        assert values.render_text(None) == "NULL"
+        assert values.render_text(2.0) == "2.0"
+        assert values.render_text(datetime.date(2023, 1, 2)) == "2023-01-02"
+
+
+class TestSortKey:
+    def test_ascending_nulls_last(self):
+        data = [3, None, 1]
+        data.sort(key=lambda v: values.sort_key(v, ascending=True))
+        assert data == [1, 3, None]
+
+    def test_descending_nulls_first(self):
+        data = [3, None, 1]
+        data.sort(key=lambda v: values.sort_key(v, ascending=False))
+        assert data == [None, 3, 1]
+
+    def test_explicit_nulls_first_ascending(self):
+        data = [3, None, 1]
+        data.sort(key=lambda v: values.sort_key(v, True, nulls_first=True))
+        assert data == [None, 1, 3]
+
+    def test_descending_values(self):
+        data = [1, 3, 2]
+        data.sort(key=lambda v: values.sort_key(v, ascending=False))
+        assert data == [3, 2, 1]
+
+    def test_descending_strings(self):
+        data = ["a", "c", "b"]
+        data.sort(key=lambda v: values.sort_key(v, ascending=False))
+        assert data == ["c", "b", "a"]
+
+    def test_mixed_int_float(self):
+        data = [2.5, 1, 3]
+        data.sort(key=lambda v: values.sort_key(v))
+        assert data == [1, 2.5, 3]
+
+    def test_dates_order(self):
+        a, b = datetime.date(2022, 1, 1), datetime.date(2023, 1, 1)
+        data = [b, a]
+        data.sort(key=lambda v: values.sort_key(v))
+        assert data == [a, b]
+
+
+class TestComparableCell:
+    def test_int_float_unify(self):
+        assert values.comparable_cell(5.0) == values.comparable_cell(5)
+
+    def test_float_rounding(self):
+        a = 0.1 + 0.2
+        assert values.comparable_cell(a) == values.comparable_cell(0.3)
+
+    def test_bool_unifies_with_int(self):
+        assert values.comparable_cell(True) == 1
+
+    def test_date_becomes_iso(self):
+        assert values.comparable_cell(datetime.date(2023, 2, 3)) == "2023-02-03"

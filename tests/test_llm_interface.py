@@ -1,0 +1,117 @@
+"""Prompt/token accounting and simulated-LLM operator tests."""
+
+import pytest
+
+from repro.llm.interface import (
+    GPT_4O,
+    GPT_4O_MINI,
+    CallMeter,
+    Prompt,
+    count_tokens,
+)
+from repro.llm.simulated import SimulatedLLM
+
+
+class TestTokens:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_roughly_four_chars_per_token(self):
+        assert count_tokens("a" * 400) == 100
+
+    def test_minimum_one(self):
+        assert count_tokens("a") == 1
+
+
+class TestPrompt:
+    def make(self):
+        prompt = Prompt(task="Do the thing.")
+        prompt.add_section("A", ["entry one", "entry two"])
+        prompt.add_section("B", ["x" * 400, "y" * 400, "z" * 400])
+        return prompt
+
+    def test_render_contains_sections(self):
+        text = self.make().render()
+        assert "## A" in text and "entry one" in text
+
+    def test_token_count_positive(self):
+        assert self.make().token_count > 0
+
+    def test_fit_to_budget_drops_last_section_first(self):
+        prompt = self.make()
+        dropped = prompt.fit_to_budget(100)
+        assert dropped.get("B", 0) >= 1
+        assert prompt.token_count <= 100 or not prompt.sections[-1].entries
+
+    def test_fit_preserves_when_within_budget(self):
+        prompt = self.make()
+        assert prompt.fit_to_budget(10_000) == {}
+        assert len(prompt.sections[1].entries) == 3
+
+    def test_fit_stops_when_nothing_left(self):
+        prompt = Prompt(task="t" * 4000)
+        assert prompt.fit_to_budget(10) == {}
+
+
+class TestMeter:
+    def test_cost_accumulates(self):
+        meter = CallMeter()
+        prompt = Prompt(task="hello world " * 100)
+        meter.record("op1", GPT_4O, prompt, "output " * 50)
+        meter.record("op2", GPT_4O_MINI, prompt, "output")
+        assert meter.total_cost_usd > 0
+        assert meter.total_latency_ms == (
+            GPT_4O.latency_ms_per_call + GPT_4O_MINI.latency_ms_per_call
+        )
+        assert set(meter.by_operator()) == {"op1", "op2"}
+
+    def test_mini_is_cheaper(self):
+        meter_big, meter_small = CallMeter(), CallMeter()
+        prompt = Prompt(task="x" * 4000)
+        meter_big.record("op", GPT_4O, prompt, "y" * 400)
+        meter_small.record("op", GPT_4O_MINI, prompt, "y" * 400)
+        assert meter_small.total_cost_usd < meter_big.total_cost_usd
+
+
+class TestSimulatedOperators:
+    def test_reformulate_records_call(self):
+        llm = SimulatedLLM()
+        meter = CallMeter()
+        output = llm.reformulate("What is the total revenue?", meter=meter)
+        assert output.startswith("Show me")
+        assert meter.calls[0].operator == "reformulate"
+
+    def test_classify_intents_uses_terms(self, experiment_context):
+        knowledge = experiment_context.knowledge_sets["sports_holdings"]
+        llm = SimulatedLLM()
+        intents = llm.classify_intents(
+            "Show me the QoQFP for Q2 2023", knowledge, k=1
+        )
+        assert intents
+        assert knowledge.intent(intents[0]).name == "financial performance"
+
+    def test_link_schema_prefers_named_columns(self, experiment_context):
+        knowledge = experiment_context.knowledge_sets["energy_grid"]
+        llm = SimulatedLLM()
+        linked = llm.link_schema(
+            "Show me the total output per zone",
+            knowledge.schema_elements(), k=10,
+        )
+        names = {element.qualified_name for element in linked}
+        assert "READINGS.GRID_ZONE" in names
+        assert "READINGS.OUTPUT_MWH" in names
+
+    def test_link_schema_keeps_table_elements_early(self, experiment_context):
+        knowledge = experiment_context.knowledge_sets["sports_holdings"]
+        llm = SimulatedLLM()
+        linked = llm.link_schema(
+            "Show me the total revenue", knowledge.schema_elements(), k=8
+        )
+        first_column_index = next(
+            index for index, element in enumerate(linked)
+            if not element.is_table
+        )
+        table_indices = [
+            index for index, element in enumerate(linked) if element.is_table
+        ]
+        assert table_indices and min(table_indices) < len(linked)

@@ -1,0 +1,234 @@
+"""Question surface-grammar tests (the simulated LLM's language competence)."""
+
+import pytest
+
+from repro.pipeline.nlparse import (
+    KIND_AGGREGATE,
+    KIND_BOTH_ENDS,
+    KIND_COUNT,
+    KIND_DELTA,
+    KIND_GROUP_AGG,
+    KIND_LISTING,
+    KIND_SHARE,
+    KIND_TOPK,
+    canonicalize,
+    parse_question,
+)
+
+
+class TestCanonicalize:
+    @pytest.mark.parametrize("raw,expected", [
+        ("What is the total revenue?", "Show me the total revenue"),
+        ("Show me the total revenue", "Show me the total revenue"),
+        ("How many orders are there?",
+         "Show me the number of orders are there"),
+        ("List the stores", "Show me the stores"),
+        ("Identify our 5 teams", "Show me our 5 teams"),
+        ("total revenue", "Show me total revenue"),
+    ])
+    def test_forms(self, raw, expected):
+        assert canonicalize(raw) == expected
+
+
+class TestAggregates:
+    def test_simple_sum(self):
+        parsed = parse_question("What is the total revenue?")
+        assert parsed.kind == KIND_AGGREGATE
+        assert parsed.metric_agg == "SUM"
+        assert parsed.metric_phrase == "revenue"
+
+    @pytest.mark.parametrize("word,agg", [
+        ("average", "AVG"), ("highest", "MAX"), ("lowest", "MIN"),
+        ("total", "SUM"),
+    ])
+    def test_agg_words(self, word, agg):
+        parsed = parse_question(f"Show me the {word} salary")
+        assert parsed.metric_agg == agg
+
+    def test_metric_of_entity_split(self):
+        parsed = parse_question(
+            "What is the total revenue of our organisations?"
+        )
+        assert parsed.metric_phrase == "revenue"
+        assert parsed.entity_phrase == "organisation"
+        assert "our" in parsed.adjectives
+
+    def test_term_metric(self):
+        parsed = parse_question("What is the QoQFP?")
+        assert parsed.metric_agg == "TERM"
+        assert parsed.metric_phrase == "qoqfp"
+
+
+class TestCounts:
+    def test_count_entity(self):
+        parsed = parse_question("How many orders are there?")
+        assert parsed.kind == KIND_COUNT
+        assert parsed.metric_agg == "COUNT"
+        assert parsed.entity_phrase == "order"
+
+    def test_trailing_copula_stripped(self):
+        parsed = parse_question("How many stores are in Boston?")
+        assert parsed.entity_phrase == "store"
+        assert parsed.value_filters == ("Boston",)
+
+    def test_count_distinct(self):
+        parsed = parse_question("Show me the number of distinct regions")
+        assert parsed.metric_agg == "COUNT_DISTINCT"
+        assert parsed.metric_phrase == "regions"
+
+    def test_adjective_extraction(self):
+        parsed = parse_question("How many online orders are there?")
+        assert parsed.adjectives == ("online",)
+        assert parsed.entity_phrase == "order"
+
+    def test_multiple_adjectives(self):
+        parsed = parse_question("How many our online orders are there?")
+        assert set(parsed.adjectives) == {"our", "online"}
+
+
+class TestFilters:
+    def test_bare_value(self):
+        parsed = parse_question("Show me the total revenue in Canada")
+        assert parsed.value_filters == ("Canada",)
+
+    def test_multiword_value(self):
+        parsed = parse_question("How many patients are in Quebec City?")
+        assert parsed.value_filters == ("Quebec City",)
+
+    def test_quarter(self):
+        parsed = parse_question("Show me the total revenue for Q2 2023")
+        assert parsed.quarter == (2023, 2)
+
+    def test_year(self):
+        parsed = parse_question("Show me the total revenue in 2022")
+        assert parsed.year == 2022
+        assert parsed.value_filters == ()
+
+    def test_quarter_and_value(self):
+        parsed = parse_question(
+            "Show me the total revenue in Canada for Q1 2023"
+        )
+        assert parsed.quarter == (2023, 1)
+        assert parsed.value_filters == ("Canada",)
+
+    def test_eq_filter_with_column(self):
+        parsed = parse_question(
+            "How many orders are there where the status is returned?"
+        )
+        assert parsed.eq_filters == (("status", "returned"),)
+
+    def test_two_eq_filters(self):
+        parsed = parse_question(
+            "How many orders are there where the status is returned "
+            "and the channel is online?"
+        )
+        assert len(parsed.eq_filters) == 2
+
+    @pytest.mark.parametrize("phrase,op", [
+        ("above", ">"), ("below", "<"), ("at least", ">="),
+        ("at most", "<="), ("over", ">"), ("under", "<"),
+    ])
+    def test_comparison_filters(self, phrase, op):
+        parsed = parse_question(
+            f"How many shipments are there with weight {phrase} 500?"
+        )
+        assert parsed.cmp_filters == (("weight", op, 500),)
+
+    def test_since_year(self):
+        parsed = parse_question("Show me the total amount since 2022")
+        assert parsed.cmp_filters == (("__year__", ">=", 2022),)
+
+
+class TestGroupedShapes:
+    def test_group_aggregate(self):
+        parsed = parse_question("Show me the average salary per region")
+        assert parsed.kind == KIND_GROUP_AGG
+        assert parsed.group_phrase == "region"
+
+    def test_for_each_variant(self):
+        parsed = parse_question("Show me the total budget for each region")
+        assert parsed.kind == KIND_GROUP_AGG
+
+    def test_count_per_group(self):
+        parsed = parse_question("Show me the number of orders per channel")
+        assert parsed.kind == KIND_GROUP_AGG
+        assert parsed.metric_agg == "COUNT"
+
+    def test_having(self):
+        parsed = parse_question(
+            "Show me the total amount per region, only groups with "
+            "total amount above 100"
+        )
+        assert parsed.having
+        assert parsed.having[0][2] == ">"
+        assert parsed.having[0][3] == 100
+
+    def test_topk(self):
+        parsed = parse_question("Show me the top 5 regions by total amount")
+        assert parsed.kind == KIND_TOPK
+        assert parsed.k == 5
+        assert parsed.group_phrase == "region"
+        assert parsed.descending
+
+    def test_bottom_k(self):
+        parsed = parse_question("Show me the bottom 3 zones by total output")
+        assert not parsed.descending
+
+    def test_both_ends(self):
+        parsed = parse_question(
+            "Show me the 5 organisations with the best and worst total revenue"
+        )
+        assert parsed.kind == KIND_BOTH_ENDS
+        assert parsed.both_ends and parsed.k == 5
+
+    def test_both_ends_with_our(self):
+        parsed = parse_question(
+            "Identify our 5 sports organisations with the best and worst "
+            "QoQFP in Canada for Q2 2023"
+        )
+        assert parsed.kind == KIND_BOTH_ENDS
+        assert "our" in parsed.adjectives
+        assert parsed.quarter == (2023, 2)
+        assert parsed.metric_phrase == "qoqfp"
+
+    def test_share(self):
+        parsed = parse_question("Show me the share of total amount per region")
+        assert parsed.kind == KIND_SHARE
+        assert parsed.metric_agg == "SUM"
+
+    def test_delta(self):
+        parsed = parse_question(
+            "Show me the 3 zones with the largest drop in total output "
+            "versus the previous quarter for Q2 2023"
+        )
+        assert parsed.kind == KIND_DELTA
+        assert parsed.delta_direction == "drop"
+        assert parsed.k == 3
+        assert parsed.quarter == (2023, 2)
+
+
+class TestListings:
+    def test_listing_with_order(self):
+        parsed = parse_question(
+            "Show me the store name and square feet of the stores in Boston, "
+            "ordered by square feet from highest to lowest"
+        )
+        assert parsed.kind == KIND_LISTING
+        assert parsed.projection_phrases == ("store name", "square feet")
+        assert parsed.order_phrase == "square feet"
+        assert parsed.descending
+
+    def test_listing_ascending(self):
+        parsed = parse_question(
+            "Show me the name and salary of the employees, ordered by "
+            "salary from lowest to highest"
+        )
+        assert not parsed.descending
+
+    def test_single_phrase_of_entity_is_not_listing(self):
+        parsed = parse_question("Show me the RPV of our organisations")
+        assert parsed.kind == KIND_AGGREGATE
+
+    def test_agg_led_phrase_is_not_listing(self):
+        parsed = parse_question("Show me the total revenue of the teams")
+        assert parsed.kind == KIND_AGGREGATE

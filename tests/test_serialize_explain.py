@@ -1,0 +1,125 @@
+"""Knowledge-set serialization and EXPLAIN tests."""
+
+import datetime
+import json
+
+import pytest
+
+from repro.engine import explain
+from repro.knowledge import from_json, load, mine_knowledge_set, save, to_json
+from repro.knowledge.mining import LoggedQuery
+
+
+@pytest.fixture()
+def mined(demo_db):
+    log = [
+        LoggedQuery(
+            "q1", "Show me total salary per dept",
+            "SELECT DEPT_ID, SUM(SALARY) FROM EMP GROUP BY DEPT_ID",
+            "hr",
+        )
+    ]
+    return mine_knowledge_set(demo_db, log, [])
+
+
+class TestSerialization:
+    def test_round_trip_preserves_stats(self, mined):
+        rebuilt = from_json(to_json(mined))
+        assert rebuilt.stats() == mined.stats()
+        assert rebuilt.name == mined.name
+
+    def test_round_trip_preserves_components(self, mined):
+        rebuilt = from_json(to_json(mined))
+        for example in mined.examples():
+            twin = rebuilt.example(example.example_id)
+            assert twin.sql == example.sql
+            assert twin.pattern == example.pattern
+            assert twin.provenance.source_kind == example.provenance.source_kind
+        for element in mined.schema_elements():
+            twin = rebuilt.schema_element(element.element_id)
+            assert twin.top_values == element.top_values
+            assert twin.data_type == element.data_type
+
+    def test_retrieval_works_after_round_trip(self, mined):
+        rebuilt = from_json(to_json(mined))
+        hits = rebuilt.search_examples("total salary", k=2)
+        assert hits
+
+    def test_date_top_values_survive(self, mined):
+        payload = to_json(mined)
+        text = json.dumps(payload)  # must be JSON-safe
+        rebuilt = from_json(json.loads(text))
+        hired = next(
+            element for element in rebuilt.schema_elements()
+            if element.column == "HIRED"
+        )
+        assert all(
+            isinstance(value, datetime.date) for value in hired.top_values
+        )
+
+    def test_file_round_trip(self, mined, tmp_path):
+        path = tmp_path / "knowledge.json"
+        save(mined, path)
+        rebuilt = load(path)
+        assert rebuilt.stats() == mined.stats()
+
+    def test_version_check(self, mined):
+        payload = to_json(mined)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            from_json(payload)
+
+
+class TestExplain:
+    def test_scan_filter_project(self):
+        plan = explain("SELECT EMP_NAME FROM EMP WHERE SALARY > 100")
+        lines = plan.splitlines()
+        assert lines[0] == "SCAN EMP"
+        assert lines[1].startswith("FILTER")
+        assert lines[2].startswith("PROJECT")
+
+    def test_group_by_stage(self):
+        plan = explain("SELECT DEPT_ID, COUNT(*) FROM EMP GROUP BY DEPT_ID")
+        assert "GROUP BY DEPT_ID" in plan
+
+    def test_global_aggregate_stage(self):
+        plan = explain("SELECT SUM(SALARY) FROM EMP")
+        assert "AGGREGATE (single group)" in plan
+
+    def test_join_tree_indented(self):
+        plan = explain(
+            "SELECT 1 FROM EMP e JOIN DEPT d ON e.DEPT_ID = d.DEPT_ID"
+        )
+        assert plan.splitlines()[0].startswith("INNER JOIN")
+        assert "  SCAN EMP AS e" in plan
+        assert "  SCAN DEPT AS d" in plan
+
+    def test_cte_materialisation(self):
+        plan = explain(
+            "WITH c AS (SELECT 1 AS x) SELECT x FROM c"
+        )
+        assert plan.splitlines()[0] == "MATERIALIZE CTE c"
+
+    def test_window_stage(self):
+        plan = explain(
+            "SELECT ROW_NUMBER() OVER (ORDER BY SALARY) FROM EMP"
+        )
+        assert "WINDOW ROW_NUMBER()" in plan
+
+    def test_set_operation(self):
+        plan = explain("SELECT 1 UNION ALL SELECT 2")
+        assert plan.splitlines()[0] == "UNION ALL"
+
+    def test_derived_table(self):
+        plan = explain("SELECT s FROM (SELECT SUM(SALARY) AS s FROM EMP) t")
+        assert "DERIVED t" in plan
+
+    def test_limit_offset(self):
+        plan = explain("SELECT EMP_ID FROM EMP ORDER BY 1 LIMIT 5 OFFSET 2")
+        assert "LIMIT 5 OFFSET 2" in plan
+
+    def test_having_stage(self):
+        plan = explain(
+            "SELECT DEPT_ID FROM EMP GROUP BY DEPT_ID HAVING COUNT(*) > 1"
+        )
+        assert "FILTER GROUPS COUNT(*) > 1" in plan

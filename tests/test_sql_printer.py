@@ -1,0 +1,113 @@
+"""Printer tests: compact and pretty rendering, round-trip stability."""
+
+import pytest
+
+from repro.sql.parser import parse, parse_expression
+from repro.sql.printer import format_sql, to_sql
+
+
+def round_trip(sql):
+    """Render, re-parse, re-render: second render must be a fixpoint."""
+    first = to_sql(parse(sql))
+    second = to_sql(parse(first))
+    assert first == second
+    return first
+
+
+class TestExpressionRendering:
+    @pytest.mark.parametrize("sql,expected", [
+        ("1 + 2", "1 + 2"),
+        ("1 + 2 * 3", "1 + 2 * 3"),
+        ("(1 + 2) * 3", "(1 + 2) * 3"),
+        ("-x", "-x"),
+        ("NOT a = 1", "NOT a = 1"),
+        ("a <> b", "a <> b"),
+        ("x IS NOT NULL", "x IS NOT NULL"),
+        ("x BETWEEN 1 AND 2", "x BETWEEN 1 AND 2"),
+        ("x NOT IN (1, 2)", "x NOT IN (1, 2)"),
+        ("name LIKE 'A%'", "name LIKE 'A%'"),
+        ("a || b", "a || b"),
+        ("COUNT(*)", "COUNT(*)"),
+        ("COUNT(DISTINCT x)", "COUNT(DISTINCT x)"),
+        ("CAST(x AS FLOAT)", "CAST(x AS FLOAT)"),
+    ])
+    def test_expression_forms(self, sql, expected):
+        assert to_sql(parse_expression(sql)) == expected
+
+    def test_string_literal_escaping(self):
+        assert to_sql(parse_expression("'it''s'")) == "'it''s'"
+
+    def test_null_true_false(self):
+        assert to_sql(parse_expression("NULL")) == "NULL"
+        assert to_sql(parse_expression("TRUE")) == "TRUE"
+
+    def test_float_integer_valued(self):
+        assert to_sql(parse_expression("1.0")) == "1.0"
+
+    def test_case_rendering(self):
+        sql = "CASE WHEN x > 0 THEN 'p' ELSE 'n' END"
+        assert to_sql(parse_expression(sql)) == sql
+
+    def test_window_rendering(self):
+        sql = "ROW_NUMBER() OVER (PARTITION BY a ORDER BY b DESC)"
+        assert to_sql(parse_expression(sql)) == sql
+
+    def test_not_over_boolean_parenthesised(self):
+        rendered = to_sql(parse_expression("NOT (a = 1 AND b = 2)"))
+        assert rendered == "NOT (a = 1 AND b = 2)"
+
+
+class TestQueryRoundTrips:
+    @pytest.mark.parametrize("sql", [
+        "SELECT 1",
+        "SELECT DISTINCT a, b FROM t",
+        "SELECT a AS x FROM t AS s WHERE x > 1",
+        "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 2",
+        "SELECT a FROM t ORDER BY a DESC NULLS LAST LIMIT 3 OFFSET 1",
+        "SELECT a FROM t JOIN u ON t.i = u.i LEFT JOIN v ON u.j = v.j",
+        "SELECT a FROM t CROSS JOIN u",
+        "WITH c AS (SELECT 1) SELECT * FROM c",
+        "WITH c(x) AS (SELECT 1) SELECT x FROM c",
+        "SELECT a FROM t UNION ALL SELECT b FROM u",
+        "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.i = t.i)",
+        "SELECT (SELECT MAX(x) FROM u) AS m FROM t",
+        "SELECT a FROM (SELECT a FROM t) AS s",
+        "SELECT SUM(CASE WHEN q = 1 THEN v ELSE 0 END) AS p FROM t",
+    ])
+    def test_round_trip_fixpoint(self, sql):
+        round_trip(sql)
+
+    def test_appendix_style_query_round_trips(self):
+        sql = (
+            "WITH F AS (SELECT ORG, SUM(CASE WHEN TO_CHAR(M, 'YYYY\"Q\"Q') "
+            "= '2023Q2' THEN R ELSE 0 END) AS R2 FROM T GROUP BY ORG) "
+            "SELECT ORG, R2, ROW_NUMBER() OVER (ORDER BY R2 DESC) AS RNK "
+            "FROM F WHERE R2 > 0 ORDER BY RNK"
+        )
+        round_trip(sql)
+
+
+class TestPrettyPrinter:
+    def test_clause_per_line(self):
+        text = format_sql(parse("SELECT a, b FROM t WHERE a > 1 ORDER BY b"))
+        lines = text.splitlines()
+        assert lines[0] == "SELECT"
+        assert any(line.startswith("FROM") for line in lines)
+        assert any(line.startswith("WHERE") for line in lines)
+
+    def test_cte_indentation(self):
+        text = format_sql(parse("WITH c AS (SELECT 1) SELECT * FROM c"))
+        assert text.splitlines()[0] == "WITH"
+        assert "c AS (" in text
+
+    def test_pretty_output_reparses(self):
+        sql = (
+            "WITH c AS (SELECT a, SUM(b) AS s FROM t GROUP BY a) "
+            "SELECT * FROM c WHERE s > 10 ORDER BY s DESC LIMIT 5"
+        )
+        pretty = format_sql(parse(sql))
+        assert to_sql(parse(pretty)) == to_sql(parse(sql))
+
+    def test_set_operation_pretty(self):
+        text = format_sql(parse("SELECT 1 UNION ALL SELECT 2"))
+        assert "UNION ALL" in text

@@ -1,0 +1,181 @@
+"""CTE rewriter and decomposer tests (§3.2.1 behaviour)."""
+
+import pytest
+
+from repro.sql import ast_nodes as ast
+from repro.sql.decompose import (
+    KIND_FROM,
+    KIND_GROUP_BY,
+    KIND_ORDER_BY,
+    KIND_PROJECTION,
+    KIND_QUERY,
+    KIND_SELECT_ITEM,
+    KIND_SUBQUERY,
+    KIND_WHERE,
+    KIND_WINDOW,
+    decompose,
+)
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+from repro.sql.rewriter import to_cte_form
+
+
+class TestRewriter:
+    def test_derived_table_hoisted(self):
+        query = to_cte_form(
+            parse("SELECT x FROM (SELECT a AS x FROM t) AS sub")
+        )
+        assert [cte.name for cte in query.ctes] == ["SUB"]
+        assert isinstance(query.body.from_clause, ast.TableRef)
+        assert query.body.from_clause.name == "SUB"
+
+    def test_alias_preserved_after_hoist(self):
+        query = to_cte_form(
+            parse("SELECT sub.x FROM (SELECT a AS x FROM t) AS sub")
+        )
+        assert query.body.from_clause.alias == "sub"
+
+    def test_existing_ctes_kept(self):
+        query = to_cte_form(parse("WITH c AS (SELECT 1) SELECT * FROM c"))
+        assert [cte.name for cte in query.ctes] == ["C"]
+
+    def test_nested_with_flattened(self):
+        query = to_cte_form(
+            parse(
+                "WITH outer_cte AS (WITH inner_cte AS (SELECT 1 AS x) "
+                "SELECT x FROM inner_cte) SELECT * FROM outer_cte"
+            )
+        )
+        names = [cte.name for cte in query.ctes]
+        assert names == ["INNER_CTE", "OUTER_CTE"]
+        # outer references the hoisted inner
+        assert not query.ctes[1].query.ctes
+
+    def test_name_collision_renamed(self):
+        query = to_cte_form(
+            parse(
+                "WITH sub AS (SELECT 1 AS x) "
+                "SELECT * FROM (SELECT 2 AS y) AS sub"
+            )
+        )
+        names = [cte.name for cte in query.ctes]
+        assert len(set(names)) == 2
+        assert "SUB" in names and "SUB_2" in names
+
+    def test_join_of_two_derived_tables(self):
+        query = to_cte_form(
+            parse(
+                "SELECT a.x, b.y FROM (SELECT 1 AS x) AS a "
+                "JOIN (SELECT 2 AS y) AS b ON a.x = b.y"
+            )
+        )
+        assert len(query.ctes) == 2
+
+    def test_rewrite_does_not_mutate_input(self):
+        original = parse("SELECT x FROM (SELECT 1 AS x) AS s")
+        before = to_sql(original)
+        to_cte_form(original)
+        assert to_sql(original) == before
+
+    def test_rewritten_query_executes_identically(self, demo_db):
+        from repro.engine import Executor
+
+        sql = (
+            "SELECT d.DEPT_NAME, t.total FROM DEPT d JOIN "
+            "(SELECT DEPT_ID, SUM(SALARY) AS total FROM EMP "
+            "GROUP BY DEPT_ID) t ON d.DEPT_ID = t.DEPT_ID "
+            "ORDER BY t.total DESC"
+        )
+        executor = Executor(demo_db)
+        original = executor.execute(sql)
+        rewritten = executor.execute(to_sql(to_cte_form(parse(sql))))
+        assert rewritten.comparable() == original.comparable()
+
+
+class TestDecompose:
+    SQL = (
+        "WITH agg AS (SELECT DEPT_ID, SUM(SALARY) AS total FROM EMP "
+        "WHERE ACTIVE = TRUE GROUP BY DEPT_ID) "
+        "SELECT DEPT_ID, total FROM agg ORDER BY total DESC LIMIT 3"
+    )
+
+    def test_unit_kinds_present(self):
+        kinds = {unit.kind for unit in decompose(parse(self.SQL))}
+        assert {
+            KIND_QUERY, KIND_SUBQUERY, KIND_PROJECTION, KIND_FROM,
+            KIND_WHERE, KIND_GROUP_BY, KIND_ORDER_BY,
+        } <= kinds
+
+    def test_query_unit_first(self):
+        units = decompose(parse(self.SQL))
+        assert units[0].kind == KIND_QUERY
+
+    def test_cte_units_tagged_with_name(self):
+        units = decompose(parse(self.SQL))
+        cte_units = [unit for unit in units if unit.cte_name == "AGG"]
+        assert cte_units
+
+    def test_final_select_units_have_no_cte_name(self):
+        units = decompose(parse(self.SQL))
+        final = [
+            unit for unit in units
+            if unit.cte_name is None and unit.kind == KIND_ORDER_BY
+        ]
+        assert final and "LIMIT 3" in final[0].sql
+
+    def test_pseudo_sql_wrapped_in_dots(self):
+        unit = decompose(parse(self.SQL))[2]
+        assert unit.pseudo_sql.startswith("... ")
+        assert unit.pseudo_sql.endswith(" ...")
+
+    def test_tables_and_columns_collected(self):
+        units = decompose(parse(self.SQL))
+        from_unit = next(
+            unit for unit in units
+            if unit.kind == KIND_FROM and unit.cte_name == "AGG"
+        )
+        assert from_unit.tables == ["EMP"]
+
+    def test_select_item_unit_for_aggregate(self):
+        units = decompose(parse(self.SQL))
+        items = [unit for unit in units if unit.kind == KIND_SELECT_ITEM]
+        assert any("SUM(SALARY)" in unit.sql for unit in items)
+
+    def test_window_unit(self):
+        sql = (
+            "SELECT a, ROW_NUMBER() OVER (ORDER BY b) AS r FROM t"
+        )
+        units = decompose(parse(sql))
+        assert any(unit.kind == KIND_WINDOW for unit in units)
+
+    def test_derived_table_decomposed_via_cte_form(self):
+        sql = "SELECT x FROM (SELECT a AS x FROM t WHERE a > 1) AS s"
+        units = decompose(parse(sql))
+        assert any(
+            unit.kind == KIND_WHERE and unit.cte_name == "S"
+            for unit in units
+        )
+
+    def test_fragments_are_nonempty(self):
+        for unit in decompose(parse(self.SQL)):
+            assert unit.sql.strip()
+
+
+class TestPatternDetection:
+    @pytest.mark.parametrize("sql,pattern", [
+        ("SUM(CASE WHEN TO_CHAR(M, 'YYYY\"Q\"Q') = '2023Q1' THEN V "
+         "ELSE 0 END)", "quarter_pivot"),
+        ("SUM(CASE WHEN STATUS = 'returned' THEN 1 ELSE 0 END)",
+         "conditional_aggregation"),
+        ("CAST(A AS FLOAT) / NULLIF(B, 0)", "safe_ratio"),
+        ("ROW_NUMBER() OVER (ORDER BY X DESC)", "topk"),
+        ("ROW_NUMBER() OVER (ORDER BY X DESC) AS B, "
+         "ROW_NUMBER() OVER (ORDER BY X ASC) AS W", "topk_both_ends"),
+        ("ORDER BY total DESC LIMIT 5", "topk"),
+        ("CAST(V AS FLOAT) / NULLIF(SUM(V) OVER (), 0)", "share_of_total"),
+        ("SELECT a FROM t", ""),
+    ])
+    def test_detect_pattern(self, sql, pattern):
+        from repro.knowledge.decomposition import detect_pattern
+
+        assert detect_pattern(sql) == pattern

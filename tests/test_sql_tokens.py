@@ -1,0 +1,156 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.sql.errors import SqlSyntaxError
+from repro.sql.tokens import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [token.type for token in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_uppercased(self):
+        assert values("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifier_case_preserved(self):
+        assert values("MyTable") == ["MyTable"]
+
+    def test_keyword_vs_identifier(self):
+        tokens = tokenize("SELECT revenue")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENTIFIER
+
+    def test_underscore_identifier(self):
+        assert values("ORG_NAME _private") == ["ORG_NAME", "_private"]
+
+    def test_punctuation(self):
+        assert values("( ) , . ;") == ["(", ")", ",", ".", ";"]
+
+    def test_whitespace_and_newlines_skipped(self):
+        assert values("a\n\t b\r\n c") == ["a", "b", "c"]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == ["42"]
+
+    def test_float(self):
+        assert values("3.14") == ["3.14"]
+
+    def test_leading_dot_float(self):
+        assert values(".5") == [".5"]
+
+    def test_scientific_notation(self):
+        assert values("1e6 2.5E-3") == ["1e6", "2.5E-3"]
+
+    def test_number_then_qualified_name(self):
+        # "1.x" should not swallow the dot into the number
+        tokens = tokenize("SELECT 1, t.x")
+        text = [token.value for token in tokens[:-1]]
+        assert text == ["SELECT", "1", ",", "t", ".", "x"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello"
+
+    def test_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_embedded_double_quotes_kept(self):
+        tokens = tokenize("'YYYY\"Q\"Q'")
+        assert tokens[0].value == 'YYYY"Q"Q'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Weird Name"')
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "Weird Name"
+
+    def test_unterminated_quoted_identifier_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"oops')
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "%", "=", "<", ">"])
+    def test_single_char_operators(self, op):
+        tokens = tokenize(op)
+        assert tokens[0].type is TokenType.OPERATOR
+        assert tokens[0].value == op
+
+    @pytest.mark.parametrize("op", ["<>", ">=", "<=", "||"])
+    def test_multi_char_operators(self, op):
+        tokens = tokenize(op)
+        assert tokens[0].value == op
+
+    def test_bang_equals_normalised(self):
+        assert tokenize("!=")[0].value == "<>"
+
+    def test_greedy_lexing(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a -- comment\n b") == ["a", "b"]
+
+    def test_line_comment_at_end(self):
+        assert values("a -- trailing") == ["a"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* hi */ b") == ["a", "b"]
+
+    def test_multiline_block_comment(self):
+        assert values("a /* line1\nline2 */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT\n  x")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_error_carries_location(self):
+        with pytest.raises(SqlSyntaxError) as err:
+            tokenize("a\n  @")
+        assert err.value.line == 2
+
+
+class TestTokenHelpers:
+    def test_matches(self):
+        token = Token(TokenType.KEYWORD, "SELECT")
+        assert token.matches(TokenType.KEYWORD)
+        assert token.matches(TokenType.KEYWORD, "SELECT")
+        assert not token.matches(TokenType.KEYWORD, "FROM")
+        assert not token.matches(TokenType.IDENTIFIER)
+
+    def test_is_keyword(self):
+        token = Token(TokenType.KEYWORD, "JOIN")
+        assert token.is_keyword("JOIN", "ON")
+        assert not token.is_keyword("SELECT")

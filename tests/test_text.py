@@ -1,0 +1,150 @@
+"""Text substrate tests: normalisation, TF-IDF, similarity, index."""
+
+import pytest
+
+from repro.text import (
+    RetrievalIndex,
+    TfIdfVectorizer,
+    char_ngrams,
+    cosine,
+    jaccard,
+    ngrams,
+    normalize,
+    overlap_coefficient,
+    stem,
+    tokenize_text,
+)
+
+
+class TestNormalize:
+    def test_tokenize_lowercases(self):
+        assert tokenize_text("Hello World") == ["hello", "world"]
+
+    def test_apostrophes_kept(self):
+        assert tokenize_text("it's") == ["it's"]
+
+    def test_stopwords_removed(self):
+        assert "the" not in normalize("the revenue of the org")
+
+    def test_our_is_not_a_stopword(self):
+        # 'our' carries enterprise meaning (ownership) — must survive.
+        assert "our" in normalize("our organisations")
+
+    @pytest.mark.parametrize("word,expected", [
+        ("organizations", "organiz"),
+        ("leagues", "league"),
+        ("courses", "course"),
+        ("statuses", "status"),
+        ("cities", "city"),
+        ("running", "runn"),
+        ("cat", "cat"),
+    ])
+    def test_stem(self, word, expected):
+        assert stem(word) == expected
+
+    def test_stem_consistency_plural_singular(self):
+        # plural and singular of common nouns unify
+        for word in ["league", "zone", "region", "store", "plant"]:
+            assert stem(word + "s") == stem(word)
+
+    def test_ngrams(self):
+        assert ngrams(["a", "b", "c"], 2) == ["a_b", "b_c"]
+        assert ngrams(["a"], 2) == []
+
+    def test_char_ngrams(self):
+        assert char_ngrams("abcd", 3) == ["abc", "bcd"]
+        assert char_ngrams("ab", 3) == ["ab"]
+        assert char_ngrams("", 3) == []
+
+
+class TestVectorizer:
+    def test_transform_normalised(self):
+        vectorizer = TfIdfVectorizer().fit(["alpha beta", "beta gamma"])
+        vector = vectorizer.transform("alpha beta")
+        norm = sum(value * value for value in vector.values())
+        assert norm == pytest.approx(1.0)
+
+    def test_rare_term_weighs_more(self):
+        corpus = ["common word here"] * 5 + ["rare qoqfp metric"]
+        vectorizer = TfIdfVectorizer(use_char_ngrams=False).fit(corpus)
+        vector = vectorizer.transform("common qoqfp")
+        assert vector["qoqfp"] > vector["common"]
+
+    def test_empty_text(self):
+        vectorizer = TfIdfVectorizer().fit(["x"])
+        assert vectorizer.transform("") == {}
+
+    def test_unfitted_flag(self):
+        assert not TfIdfVectorizer().is_fitted
+        assert TfIdfVectorizer().fit(["a"]).is_fitted
+
+
+class TestSimilarity:
+    def test_cosine_identical(self):
+        v = {"a": 0.6, "b": 0.8}
+        assert cosine(v, v) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_cosine_empty(self):
+        assert cosine({}, {"a": 1.0}) == 0.0
+
+    def test_jaccard(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+        assert jaccard([], []) == 0.0
+
+    def test_overlap_coefficient(self):
+        assert overlap_coefficient(["a"], ["a", "b", "c"]) == 1.0
+        assert overlap_coefficient([], ["a"]) == 0.0
+
+
+class TestRetrievalIndex:
+    @pytest.fixture()
+    def index(self):
+        index = RetrievalIndex()
+        index.add("d1", "total revenue per organisation")
+        index.add("d2", "television viewers per month")
+        index.add("d3", "sponsorship deal value")
+        return index
+
+    def test_search_ranks_relevant_first(self, index):
+        hits = index.search("revenue of organisations", k=3)
+        assert hits[0].doc_id == "d1"
+
+    def test_candidates_restrict_pool(self, index):
+        hits = index.search("revenue", k=3, candidates=["d2", "d3"])
+        assert {hit.doc_id for hit in hits} <= {"d2", "d3"}
+
+    def test_extra_text_expands_query(self, index):
+        plain = index.search("numbers", k=1)
+        expanded = index.search("numbers", k=1, extra_text="television viewers")
+        assert expanded[0].doc_id == "d2"
+        assert expanded[0].score >= plain[0].score if plain else True
+
+    def test_remove(self, index):
+        index.remove("d1")
+        assert "d1" not in index
+        assert all(hit.doc_id != "d1" for hit in index.search("revenue"))
+
+    def test_replace_document(self, index):
+        index.add("d1", "completely different text about sponsors")
+        hits = index.search("sponsors", k=2)
+        assert "d1" in {hit.doc_id for hit in hits}
+
+    def test_score_single_document(self, index):
+        assert index.score("revenue", "d1") > index.score("revenue", "d2")
+        assert index.score("revenue", "missing") == 0.0
+
+    def test_len_and_get(self, index):
+        assert len(index) == 3
+        assert index.get("d2").text.startswith("television")
+
+    def test_metadata_preserved(self):
+        index = RetrievalIndex()
+        index.add("x", "text", {"kind": "example"})
+        assert index.get("x").metadata["kind"] == "example"
+
+    def test_search_falls_back_to_scan_when_no_term_overlap(self, index):
+        hits = index.search("zzz qqq", k=1)
+        assert len(hits) <= 1  # no crash; may return weak or no hit

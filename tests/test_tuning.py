@@ -1,0 +1,104 @@
+"""Budget-parametrized pipeline tier tests."""
+
+import pytest
+
+from repro.pipeline.config import DEFAULT_CONFIG
+from repro.pipeline.tuning import (
+    BALANCED,
+    ECONOMY,
+    QUALITY,
+    TIERS,
+    configure_for_budget,
+    estimate_cost,
+    estimate_latency,
+)
+
+
+class TestEstimates:
+    def test_cost_positive_and_ordered(self):
+        costs = [tier.predicted_cost_usd for tier in TIERS]
+        assert all(cost > 0 for cost in costs)
+        assert costs == sorted(costs, reverse=True)
+
+    def test_latency_ordered(self):
+        latencies = [tier.predicted_latency_ms for tier in TIERS]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_disabling_operators_reduces_cost(self):
+        from dataclasses import replace
+
+        slim = replace(
+            DEFAULT_CONFIG,
+            use_reformulation=False,
+            use_intent_classification=False,
+            use_schema_linking=False,
+            max_retries=0,
+        )
+        assert estimate_cost(slim) < estimate_cost(DEFAULT_CONFIG)
+        assert estimate_latency(slim) < estimate_latency(DEFAULT_CONFIG)
+
+    def test_context_budget_scales_generation_cost(self):
+        from dataclasses import replace
+
+        big = replace(DEFAULT_CONFIG, context_budget_tokens=4000)
+        assert estimate_cost(big) > estimate_cost(DEFAULT_CONFIG)
+
+
+class TestBudgetSelection:
+    def test_no_budget_picks_quality(self):
+        assert configure_for_budget() is QUALITY
+
+    def test_cost_budget_picks_cheaper_tier(self):
+        threshold = (
+            QUALITY.predicted_cost_usd + BALANCED.predicted_cost_usd
+        ) / 2
+        assert configure_for_budget(max_cost_usd=threshold) is BALANCED
+
+    def test_latency_budget(self):
+        threshold = (
+            BALANCED.predicted_latency_ms + ECONOMY.predicted_latency_ms
+        ) / 2
+        assert configure_for_budget(max_latency_ms=threshold) is ECONOMY
+
+    def test_unsatisfiable_budget_returns_economy(self):
+        tier = configure_for_budget(max_cost_usd=1e-9)
+        assert tier is ECONOMY
+
+    def test_both_constraints(self):
+        tier = configure_for_budget(
+            max_cost_usd=QUALITY.predicted_cost_usd + 1,
+            max_latency_ms=QUALITY.predicted_latency_ms + 1,
+        )
+        assert tier is QUALITY
+
+
+class TestTierConfigs:
+    def test_economy_is_single_shot(self):
+        assert ECONOMY.config.candidate_count == 1
+        assert ECONOMY.config.max_retries == 0
+
+    def test_tiers_generate(self, experiment_context):
+        from repro.pipeline import GenEditPipeline
+
+        profile = experiment_context.profiles["sports_holdings"]
+        knowledge = experiment_context.knowledge_sets["sports_holdings"]
+        for tier in TIERS:
+            pipeline = GenEditPipeline(
+                profile.database, knowledge, config=tier.config
+            )
+            result = pipeline.generate("What is the total revenue?")
+            assert result.sql
+
+    def test_economy_measured_cheaper(self, experiment_context):
+        from repro.pipeline import GenEditPipeline
+
+        profile = experiment_context.profiles["sports_holdings"]
+        knowledge = experiment_context.knowledge_sets["sports_holdings"]
+        question = "What is the total revenue in Canada?"
+        costs = {}
+        for tier in (QUALITY, ECONOMY):
+            pipeline = GenEditPipeline(
+                profile.database, knowledge, config=tier.config
+            )
+            costs[tier.name] = pipeline.generate(question).cost_usd
+        assert costs["economy"] < costs["quality"]

@@ -1,0 +1,188 @@
+"""Workload factory tests: NL/gold-spec consistency per question kind."""
+
+import random
+
+import pytest
+
+from repro.bench.schemas import build_profile
+from repro.bench.workloads import SchemaInfo, _Factory, pluralize
+from repro.engine import Executor
+from repro.pipeline.builders import build_sql
+from repro.pipeline.nlparse import parse_question
+from repro.sql.parser import parse
+
+
+@pytest.fixture()
+def factory(sports_profile):
+    return _Factory(SchemaInfo(sports_profile), random.Random(42))
+
+
+def check(result, sports_profile):
+    """Every factory output must render gold SQL that parses and executes."""
+    assert result is not None
+    spec, question, features, intent = result
+    sql = build_sql(spec)
+    parse(sql)
+    Executor(sports_profile.database).execute(sql)
+    return spec, question, features
+
+
+class TestSchemaInfo:
+    def test_entity_surface_from_description(self, sports_profile):
+        info = SchemaInfo(sports_profile)
+        assert info.entity_surface("SPORTS_ORGS") == "sports organisation"
+
+    def test_metric_columns_exclude_ids_and_years(self, sports_profile):
+        info = SchemaInfo(sports_profile)
+        names = [name for name, _surface in info.metric_columns("SPORTS_ORGS")]
+        assert "ORG_ID" not in names
+        assert "FOUNDED_YEAR" not in names
+        assert "ARENA_CAPACITY" in names
+
+    def test_categorical_excludes_label_column(self, sports_profile):
+        info = SchemaInfo(sports_profile)
+        names = [
+            name for name, _s, _v in info.categorical_columns("SPORTS_ORGS")
+        ]
+        assert "ORG_NAME" not in names
+        assert "COUNTRY" in names
+
+    def test_rare_values_disjoint_from_top(self, sports_profile):
+        info = SchemaInfo(sports_profile)
+        top = set(info.top_values("SPORTS_ORGS", "CITY"))
+        rare = set(info.rare_values("SPORTS_ORGS", "CITY"))
+        assert top.isdisjoint(rare)
+
+    @pytest.mark.parametrize("word,plural", [
+        ("order", "orders"), ("city", "cities"), ("course", "courses"),
+        ("sports organisation", "sports organisations"),
+    ])
+    def test_pluralize(self, word, plural):
+        assert pluralize(word) == plural
+
+
+class TestFactories:
+    def test_count_question(self, factory, sports_profile):
+        spec, question, _ = check(
+            factory.count_question("SPORTS_ORGS"), sports_profile
+        )
+        assert question.startswith("How many")
+        assert spec.metrics[0].agg == "COUNT"
+        parsed = parse_question(question)
+        assert parsed.metric_agg == "COUNT"
+
+    def test_agg_question_parses_back(self, factory, sports_profile):
+        spec, question, _ = check(
+            factory.agg_question("SPORTS_FINANCIALS"), sports_profile
+        )
+        parsed = parse_question(question)
+        assert parsed.metric_agg == spec.metrics[0].agg
+
+    def test_quarter_question_round_trips(self, factory, sports_profile):
+        spec, question, features = check(
+            factory.agg_question("SPORTS_FINANCIALS", quarter_filter=True),
+            sports_profile,
+        )
+        assert "quarter" in features
+        parsed = parse_question(question)
+        quarter = spec.quarter_filters[0]
+        assert parsed.quarter == (quarter.year, quarter.quarter)
+
+    def test_vague_question_surface_not_in_catalog(
+        self, factory, sports_profile
+    ):
+        spec, question, features = check(
+            factory.agg_question("SPORTS_FINANCIALS", vague=True),
+            sports_profile,
+        )
+        assert "trap:vague" in features
+        # vague surfaces never name the real column
+        column = spec.metrics[0].column.lower().replace("_", " ")
+        assert column not in question.lower()
+
+    def test_guideline_question(self, factory, sports_profile):
+        spec, question, features = check(
+            factory.guideline_question("SPORTS_ORGS"), sports_profile
+        )
+        assert any(f.startswith("needs:guideline") for f in features)
+        assert spec.filters[0].raw
+
+    def test_unknown_adjective_question(self, factory, sports_profile):
+        spec, question, features = check(
+            factory.unknown_adjective_question(), sports_profile
+        )
+        assert "trap:unknown-adjective" in features
+
+    def test_listing_question(self, factory, sports_profile):
+        spec, question, _ = check(
+            factory.listing_question("SPORTS_ORGS"), sports_profile
+        )
+        assert "ordered by" in question
+        assert len(spec.projection) == 2
+
+    def test_group_question(self, factory, sports_profile):
+        spec, question, _ = check(
+            factory.group_question("SPORTS_FINANCIALS"), sports_profile
+        )
+        assert " per " in question
+        assert spec.group_by
+
+    def test_topk_question(self, factory, sports_profile):
+        spec, question, _ = check(
+            factory.topk_question("SPORTS_FINANCIALS"), sports_profile
+        )
+        assert question.startswith("Show me the top")
+        assert spec.order.limit in (3, 5)
+
+    def test_term_question_uses_glossary(self, factory, sports_profile):
+        spec, question, features = check(
+            factory.term_question("SPORTS_FINANCIALS"), sports_profile
+        )
+        assert spec.metrics[0].agg == "EXPR"
+        assert any(f.startswith("needs:term") for f in features)
+
+    def test_both_ends_question(self, factory, sports_profile):
+        spec, question, _ = check(
+            factory.both_ends_question("SPORTS_FINANCIALS"), sports_profile
+        )
+        assert "best and worst" in question
+        assert spec.shape == "topk_both_ends"
+
+    def test_delta_question(self, factory, sports_profile):
+        spec, question, _ = check(
+            factory.delta_question("SPORTS_FINANCIALS"), sports_profile
+        )
+        assert "versus the previous quarter" in question
+        assert spec.ratio_delta is not None
+        assert not spec.ratio_delta.denominator_table
+
+    def test_ratio_term_question(self, factory, sports_profile):
+        spec, question, features = check(
+            factory.ratio_term_question(bare_value="Canada"), sports_profile
+        )
+        assert "QoQFP" in question
+        params = spec.ratio_delta
+        assert params.denominator_table == "SPORTS_VIEWERSHIP"
+        assert params.negate
+        # 'our' + Canada filters distributed to the tables that have them
+        assert any(
+            flt.raw.startswith("OWNERSHIP_FLAG")
+            for flt in params.numerator_filters if flt.raw
+        )
+        assert not any(
+            flt.raw.startswith("OWNERSHIP_FLAG")
+            for flt in params.denominator_filters if flt.raw
+        )
+
+    def test_share_question(self, factory, sports_profile):
+        result = factory.share_question("SPORTS_FINANCIALS")
+        spec, question, _ = check(result, sports_profile)
+        assert question.startswith("Show me the share of total")
+        assert spec.shape == "share_of_total"
+
+    def test_factories_handle_missing_prerequisites(self, sports_profile):
+        info = SchemaInfo(sports_profile)
+        factory = _Factory(info, random.Random(1))
+        # SPONSORSHIPS has no date column: quarter variants degrade cleanly
+        result = factory.delta_question("SPONSORSHIPS")
+        assert result is None
