@@ -1,6 +1,7 @@
 """Benchmark substrate: databases, workloads, baselines, harness."""
 
 from .bird import build_knowledge_sets, build_workload
+from .cache import CachedExecutionError, EvaluationCache
 from .enterprise import build_enterprise_workload
 from .harness import (
     ExperimentContext,
@@ -8,6 +9,7 @@ from .harness import (
     evaluate_system,
     feedback_metrics,
     format_table,
+    profile,
     run_genedit,
     table1,
     table2,
@@ -19,8 +21,10 @@ from .workloads import BUCKET_SIZES, BenchmarkQuestion, SchemaInfo, Workload
 __all__ = [
     "BUCKET_SIZES",
     "BenchmarkQuestion",
+    "CachedExecutionError",
     "DATABASE_NAMES",
     "DEFAULT_SEED",
+    "EvaluationCache",
     "EvaluationReport",
     "ExperimentContext",
     "QuestionOutcome",
@@ -36,6 +40,7 @@ __all__ = [
     "execution_match",
     "feedback_metrics",
     "format_table",
+    "profile",
     "run_genedit",
     "table1",
     "table2",

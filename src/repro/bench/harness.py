@@ -4,41 +4,76 @@
 regenerates the corresponding experiment from the paper (see DESIGN.md's
 per-experiment index). The harness is also the library API the benchmark
 suite under ``benchmarks/`` calls into.
+
+Evaluation runs on a fast path: one :class:`~repro.bench.cache.EvaluationCache`
+per :class:`ExperimentContext` memoizes gold result sets across all systems
+and experiments, and :func:`evaluate_system` fans the workload out across
+per-database worker threads (results are reassembled in workload order, so
+the report is bit-identical regardless of completion order). Append
+``--profile`` to any harness target — or run the ``profile`` target, with
+``--json`` for machine-readable output — for a per-stage timing table.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 from ..pipeline.config import DEFAULT_CONFIG
 from ..pipeline.pipeline import GenEditPipeline
 from .bird import build_knowledge_sets, build_workload
+from .cache import EvaluationCache
 from .metrics import EvaluationReport, QuestionOutcome, execution_match
 from .schemas import DEFAULT_SEED, build_all
 
+#: Version stamp for the ``profile --json`` payload (see BENCH_baseline.json).
+PROFILE_SCHEMA_VERSION = 1
+
 
 def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
-                    system_name, questions=None):
+                    system_name, questions=None, cache=None,
+                    max_workers=None):
     """Run one system over the workload and return an EvaluationReport.
 
     ``make_pipeline(database, knowledge)`` builds the system under test for
     one database; it must expose ``generate(question) -> GenerationResult``.
+
+    ``cache`` is an :class:`EvaluationCache` shared with other runs (pass
+    ``False`` to disable caching entirely and restore the one-shot seed
+    path; ``None`` builds a fresh private cache). Questions are grouped by
+    database and the groups run on a thread pool (``max_workers=None``
+    sizes it to ``min(#databases, cpu_count)``; ``0``/``1`` forces
+    sequential). Outcomes are always reassembled in workload order, so the
+    report does not depend on scheduling.
     """
+    question_list = list(
+        questions if questions is not None else workload.questions
+    )
+    if cache is None:
+        cache = EvaluationCache()
+    elif cache is False:
+        cache = None
     report = EvaluationReport(system=system_name)
-    pipelines = {}
-    for question in questions if questions is not None else workload.questions:
-        profile = profiles[question.database]
-        if question.database not in pipelines:
-            pipelines[question.database] = make_pipeline(
-                profile.database, knowledge_sets[question.database]
-            )
-        pipeline = pipelines[question.database]
-        result = pipeline.generate(question.question)
-        correct = execution_match(
-            profile.database, result.sql, question.gold_sql
+    groups = {}
+    for position, question in enumerate(question_list):
+        groups.setdefault(question.database, []).append((position, question))
+
+    def run_group(database_name, items):
+        profile = profiles[database_name]
+        pipeline = make_pipeline(
+            profile.database, knowledge_sets[database_name]
         )
-        report.add(
-            QuestionOutcome(
+        outcomes = []
+        for position, question in items:
+            result = pipeline.generate(question.question)
+            correct = execution_match(
+                profile.database, result.sql, question.gold_sql,
+                cache=cache,
+            )
+            outcomes.append((position, QuestionOutcome(
                 question_id=question.question_id,
                 difficulty=question.difficulty,
                 database=question.database,
@@ -49,8 +84,27 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                 issues=tuple(result.plan.issues) if result.plan else (),
                 cost_usd=result.cost_usd,
                 latency_ms=result.latency_ms,
-            )
-        )
+            )))
+        return outcomes
+
+    if max_workers is None:
+        max_workers = min(len(groups) or 1, os.cpu_count() or 1)
+    if max_workers <= 1 or len(groups) <= 1:
+        collected = [
+            outcome for database_name, items in groups.items()
+            for outcome in run_group(database_name, items)
+        ]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(run_group, database_name, items)
+                for database_name, items in groups.items()
+            ]
+            collected = [
+                outcome for future in futures for outcome in future.result()
+            ]
+    for _position, outcome in sorted(collected, key=lambda pair: pair[0]):
+        report.add(outcome)
     return report
 
 
@@ -77,39 +131,65 @@ def format_table(title, headers, rows):
 
 
 class ExperimentContext:
-    """Shared, lazily-built workload + knowledge sets for all experiments."""
+    """Shared, lazily-built workload + knowledge sets for all experiments.
+
+    Also owns the shared :class:`EvaluationCache`, so every experiment run
+    against the same context reuses gold result sets, and a ``timings``
+    dict recording how long each lazy stage took (read by :func:`profile`).
+    """
 
     def __init__(self, seed=DEFAULT_SEED):
         self.seed = seed
+        self.cache = EvaluationCache()
+        self.timings = {}
         self._workload = None
         self._profiles = None
         self._knowledge = None
         self._knowledge_full = None
 
+    def _timed(self, stage, builder):
+        started = time.perf_counter()
+        built = builder()
+        self.timings[stage] = (
+            self.timings.get(stage, 0.0) + time.perf_counter() - started
+        )
+        return built
+
     @property
     def workload(self):
         if self._workload is None:
-            self._workload = build_workload(self.seed)
+            self._workload = self._timed(
+                "build", lambda: build_workload(self.seed)
+            )
         return self._workload
 
     @property
     def profiles(self):
         if self._profiles is None:
-            self._profiles = build_all(self.seed)
+            self._profiles = self._timed(
+                "build", lambda: build_all(self.seed)
+            )
         return self._profiles
 
     @property
     def knowledge_sets(self):
         if self._knowledge is None:
-            self._knowledge = build_knowledge_sets(self.workload, self.seed)
+            workload = self.workload  # built (and timed) as its own stage
+            self._knowledge = self._timed(
+                "mine", lambda: build_knowledge_sets(workload, self.seed)
+            )
         return self._knowledge
 
     def knowledge_sets_full_queries(self):
         """Knowledge sets with *undecomposed* examples (the w/o-decomposition
         regime and the full-query baselines)."""
         if self._knowledge_full is None:
-            self._knowledge_full = build_knowledge_sets(
-                self.workload, self.seed, decompose=False
+            workload = self.workload  # built (and timed) as its own stage
+            self._knowledge_full = self._timed(
+                "mine",
+                lambda: build_knowledge_sets(
+                    workload, self.seed, decompose=False
+                ),
             )
         return self._knowledge_full
 
@@ -125,6 +205,7 @@ def run_genedit(context, config=None, questions=None, system_name="GenEdit",
         knowledge_sets or context.knowledge_sets,
         system_name,
         questions=questions,
+        cache=context.cache,
     )
 
 
@@ -156,6 +237,7 @@ def table1(context=None, include_baselines=True, verbose=True):
                     context.profiles,
                     knowledge,
                     spec.name,
+                    cache=context.cache,
                 )
             )
     reports.append(run_genedit(context))
@@ -236,11 +318,13 @@ def crossover(context=None, verbose=True):
         dev_report = evaluate_system(
             builder, context.workload, context.profiles,
             context.knowledge_sets, system_name,
+            cache=context.cache,
         )
         enterprise_report = evaluate_system(
             builder, enterprise, context.profiles,
             context.knowledge_sets, system_name,
             questions=enterprise.questions,
+            cache=context.cache,
         )
         reports[system_name] = (dev_report, enterprise_report)
         rows.append(
@@ -286,6 +370,7 @@ def model_selection(context=None, verbose=True):
             context.profiles,
             context.knowledge_sets,
             label,
+            cache=context.cache,
         )
         reports[label] = report
         questions = len(report.outcomes)
@@ -344,6 +429,88 @@ def retrieval_ablation(context=None, verbose=True):
     return reports
 
 
+def profile(context=None, limit=None, verbose=True, as_json=False):
+    """Per-stage timing of a GenEdit evaluation over the dev sample.
+
+    Stages: ``build`` (databases + workload), ``mine`` (knowledge sets),
+    ``retrieve`` (a pure retrieval pass: example/instruction/schema search
+    per question), ``generate`` (the full pipeline, which internally
+    subsumes retrieval), and ``execute`` (EX checking through the shared
+    cache). ``limit`` restricts the run to the first N questions.
+
+    Returns the profile dict; with ``as_json`` the payload printed is JSON
+    (the committed ``BENCH_baseline.json`` is one such snapshot).
+    """
+    context = context or ExperimentContext()
+    knowledge_sets = context.knowledge_sets  # forces build + mine timings
+    questions = context.workload.questions
+    if limit is not None:
+        questions = questions[:limit]
+
+    retrieve_s = 0.0
+    started = time.perf_counter()
+    for question in questions:
+        knowledge = knowledge_sets[question.database]
+        knowledge.search_examples(question.question, k=8)
+        knowledge.search_instructions(question.question, k=8)
+        knowledge.search_schema(question.question, k=20)
+    retrieve_s = time.perf_counter() - started
+
+    pipelines = {}
+    results = []
+    started = time.perf_counter()
+    for question in questions:
+        if question.database not in pipelines:
+            pipelines[question.database] = GenEditPipeline(
+                context.profiles[question.database].database,
+                knowledge_sets[question.database],
+            )
+        results.append(
+            pipelines[question.database].generate(question.question)
+        )
+    generate_s = time.perf_counter() - started
+
+    correct = 0
+    started = time.perf_counter()
+    for question, result in zip(questions, results):
+        correct += execution_match(
+            context.profiles[question.database].database,
+            result.sql, question.gold_sql, cache=context.cache,
+        )
+    execute_s = time.perf_counter() - started
+
+    stages = {
+        "build": round(context.timings.get("build", 0.0), 4),
+        "mine": round(context.timings.get("mine", 0.0), 4),
+        "retrieve": round(retrieve_s, 4),
+        "generate": round(generate_s, 4),
+        "execute": round(execute_s, 4),
+    }
+    payload = {
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "seed": context.seed,
+        "questions": len(questions),
+        "ex_all": round(100.0 * correct / len(questions), 2)
+        if questions else 0.0,
+        "stages": stages,
+        "total_s": round(sum(stages.values()), 4),
+        "cache": context.cache.stats(),
+    }
+    if verbose:
+        if as_json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            rows = [(stage, seconds) for stage, seconds in stages.items()]
+            rows.append(("total", payload["total_s"]))
+            print(format_table(
+                f"Harness profile ({payload['questions']} questions, "
+                f"EX {payload['ex_all']:.2f})",
+                ["Stage", "Seconds"],
+                rows,
+            ))
+    return payload
+
+
 def feedback_metrics(verbose=True, seed=DEFAULT_SEED):
     """§4.2.3: edits-recommendation acceptance metrics."""
     from .feedback_sim import simulate_feedback_sessions
@@ -367,8 +534,14 @@ def feedback_metrics(verbose=True, seed=DEFAULT_SEED):
 
 def main(argv=None):
     argv = argv if argv is not None else sys.argv[1:]
-    target = argv[0] if argv else "all"
+    flags = {arg for arg in argv if arg.startswith("--")}
+    positional = [arg for arg in argv if not arg.startswith("--")]
+    target = positional[0] if positional else "all"
+    as_json = "--json" in flags
     context = ExperimentContext()
+    if target == "profile":
+        profile(context, as_json=as_json)
+        return 0
     if target in ("table1", "all"):
         table1(context)
         print()
@@ -386,6 +559,9 @@ def main(argv=None):
         print()
     if target in ("feedback", "all"):
         feedback_metrics()
+    if "--profile" in flags:
+        print()
+        profile(context, as_json=as_json)
     return 0
 
 

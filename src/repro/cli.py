@@ -169,7 +169,12 @@ def cmd_solve(args, out=sys.stdout, input_fn=input):
 def cmd_bench(args, out=sys.stdout):
     from .bench.harness import main as harness_main
 
-    return harness_main([args.experiment])
+    argv = [args.experiment]
+    if args.profile:
+        argv.append("--profile")
+    if args.json:
+        argv.append("--json")
+    return harness_main(argv)
 
 
 def build_arg_parser():
@@ -206,7 +211,16 @@ def build_arg_parser():
     bench = commands.add_parser("bench", help="run a paper experiment")
     bench.add_argument(
         "experiment",
-        choices=["table1", "table2", "crossover", "models", "retrieval", "feedback", "all"],
+        choices=["table1", "table2", "crossover", "models", "retrieval",
+                 "feedback", "profile", "all"],
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="append a per-stage timing table after the experiment",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="emit the profile payload as JSON (with profile/--profile)",
     )
     bench.set_defaults(func=cmd_bench)
     return parser

@@ -19,11 +19,13 @@ class Database:
         self.name = name
         self.description = description
         self._tables = {}
+        self._catalog_version = 0
         for table in tables or []:
             self.add_table(table)
 
     def add_table(self, table):
         self._tables[table.name.upper()] = table
+        self._catalog_version += 1
         return table
 
     def create_table(self, name, columns, rows=None, description=""):
@@ -42,6 +44,20 @@ class Database:
 
     def has_table(self, name):
         return name.upper() in self._tables
+
+    @property
+    def version(self):
+        """Monotonic mutation counter over the catalog and its rows.
+
+        Any sanctioned mutation — adding a table or inserting a row — bumps
+        it, which is what lets the evaluation result cache key gold result
+        sets on ``(database, version, sql)`` and drop them the moment data
+        changes. Code that mutates ``table.rows`` directly bypasses the
+        counter and must invalidate caches itself.
+        """
+        return self._catalog_version + sum(
+            table.version for table in self._tables.values()
+        )
 
     @property
     def tables(self):

@@ -15,7 +15,7 @@ DISTINCT, ORDER BY (expressions, output aliases, ordinals), LIMIT/OFFSET.
 from __future__ import annotations
 
 from ..sql import ast_nodes as ast
-from ..sql.parser import parse
+from ..sql.parser import parse_cached
 from ..sql.printer import to_sql
 from .database import Database
 from .errors import ExecutionError, UnknownTableError
@@ -89,9 +89,14 @@ class Executor:
     # -- public API ----------------------------------------------------------
 
     def execute(self, query):
-        """Execute ``query`` (SQL text or a parsed Query) and return a Result."""
+        """Execute ``query`` (SQL text or a parsed Query) and return a Result.
+
+        Text goes through the shared parse cache — execution never mutates
+        the AST, so the same tree can safely serve the self-correction loop,
+        the final check, and the EX metric.
+        """
         if isinstance(query, str):
-            query = parse(query)
+            query = parse_cached(query)
         return self._execute_query(query, outer_env=None)
 
     # -- query / body ----------------------------------------------------------

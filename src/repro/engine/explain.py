@@ -10,14 +10,14 @@ debugging generated SQL.
 from __future__ import annotations
 
 from ..sql import ast_nodes as ast
-from ..sql.parser import parse
+from ..sql.parser import parse_cached
 from ..sql.printer import to_sql
 
 
 def explain(query):
     """Return the logical plan of ``query`` (SQL text or parsed Query)."""
     if isinstance(query, str):
-        query = parse(query)
+        query = parse_cached(query)
     lines = []
     for cte in query.ctes:
         lines.append(f"MATERIALIZE CTE {cte.name}")

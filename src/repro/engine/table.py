@@ -48,6 +48,7 @@ class Table:
                 f"Duplicate column names in table {name!r}"
             )
         self.rows = []
+        self.version = 0
         for row in rows or []:
             self.insert(row)
 
@@ -88,6 +89,7 @@ class Table:
         for value, column in zip(row, self.columns):
             converted.append(self._check_value(value, column))
         self.rows.append(tuple(converted))
+        self.version += 1
 
     def _check_value(self, value, column):
         if value is None:

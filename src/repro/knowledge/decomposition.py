@@ -27,7 +27,7 @@ from ..sql.decompose import (
     KIND_WINDOW,
     decompose,
 )
-from ..sql.parser import parse
+from ..sql.parser import parse_cached
 from .models import DecomposedExample, Provenance, next_component_id
 
 # -- pattern detection ----------------------------------------------------------
@@ -114,7 +114,7 @@ def build_examples(question, sql, intent_ids=(), source_query_id="",
     pairs) but can be kept — the ``w/o Decomposition`` ablation stores full
     queries instead.
     """
-    query = parse(sql)
+    query = parse_cached(sql)
     provenance = Provenance(
         source_kind="query_log",
         source_ref=source_query_id,
@@ -168,7 +168,7 @@ def build_full_query_example(question, sql, intent_ids=(),
 
 
 def _tables_of(sql):
-    query = parse(sql)
+    query = parse_cached(sql)
     names = []
     cte_names = {cte.name.upper() for cte in query.ctes}
     for node in query.walk():

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..sql.analyzer import Analyzer
 from ..sql.errors import SqlError
-from ..sql.parser import parse
+from ..sql.parser import parse_cached
 from .base import Operator
 from .builders import build_sql
 from .prompt import assemble_prompt
@@ -81,7 +81,7 @@ class GenerationOperator(Operator):
 
     def _analyze(self, analyzer, sql):
         try:
-            query = parse(sql)
+            query = parse_cached(sql)
         except SqlError as error:
             return [str(error)]
         return analyzer.analyze(query)

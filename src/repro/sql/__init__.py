@@ -9,7 +9,7 @@ from .errors import (
     SqlSyntaxError,
     SqlUnsupportedError,
 )
-from .parser import parse, parse_expression
+from .parser import parse, parse_cached, parse_expression
 from .printer import format_sql, to_sql
 from .rewriter import to_cte_form
 from .tokens import Token, TokenType, tokenize
@@ -27,6 +27,7 @@ __all__ = [
     "decompose",
     "format_sql",
     "parse",
+    "parse_cached",
     "parse_expression",
     "to_cte_form",
     "to_sql",

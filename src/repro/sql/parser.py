@@ -22,6 +22,8 @@ Grammar (informal)::
 
 from __future__ import annotations
 
+import functools
+
 from . import ast_nodes as ast
 from .errors import SqlSyntaxError
 from .tokens import Token, TokenType, tokenize
@@ -44,6 +46,29 @@ def parse(sql):
     query = parser.parse_query()
     parser.expect_end()
     return query
+
+
+#: Default size of the :func:`parse_cached` LRU. Large enough to hold every
+#: distinct statement of a full harness run (gold + predicted + decomposed
+#: fragments) without ever churning in practice.
+PARSE_CACHE_SIZE = 4096
+
+
+@functools.lru_cache(maxsize=PARSE_CACHE_SIZE)
+def parse_cached(sql):
+    """Parse ``sql``, memoizing the AST across calls (LRU, keyed on text).
+
+    The same statement is parsed repeatedly on the evaluation fast path —
+    self-correction executes it, the final check executes it again, and the
+    EX metric executes it once more — so the AST is cached and **shared**
+    between callers. Treat the returned tree as immutable: every in-repo
+    rewrite (:func:`repro.sql.rewriter.to_cte_form`, and the decomposer
+    through it) deep-copies before mutating. Callers that need a private,
+    mutable tree should use :func:`parse`.
+
+    Parse failures are not cached; failing text re-raises on every call.
+    """
+    return parse(sql)
 
 
 def parse_expression(sql):

@@ -2,7 +2,7 @@
 
 from .index import Document, RetrievalIndex, SearchHit
 from .normalize import char_ngrams, ngrams, normalize, stem, tokenize_text
-from .similarity import cosine, jaccard, overlap_coefficient
+from .similarity import cosine, cosine_with_norms, jaccard, l2_norm, overlap_coefficient
 from .vectorize import TfIdfVectorizer
 
 __all__ = [
@@ -12,7 +12,9 @@ __all__ = [
     "TfIdfVectorizer",
     "char_ngrams",
     "cosine",
+    "cosine_with_norms",
     "jaccard",
+    "l2_norm",
     "ngrams",
     "normalize",
     "overlap_coefficient",

@@ -5,15 +5,33 @@ retrieval operator: documents (examples, instructions, schema elements) are
 added with an id, text, and optional metadata; queries return the top-k ids
 by cosine similarity, optionally restricted to a candidate subset (which is
 how intent-keyed retrieval composes with similarity re-ranking).
+
+The index pays its embedding cost once per refresh: each document's vector
+*and* L2 norm are precomputed, the per-document token list is normalised a
+single time (shared by the vectorizer fit, the document vector, and the
+inverted index), and query-vector transforms are memoized until the next
+mutation — so context-expansion re-ranks that reuse the same expanded query
+text never re-embed it.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from .normalize import normalize
-from .similarity import cosine
+from .similarity import cosine_with_norms, l2_norm
 from .vectorize import TfIdfVectorizer
+
+logger = logging.getLogger(__name__)
+
+#: Above this collection size, an empty inverted-index pre-filter no longer
+#: falls back to scanning *every* document: the scan is capped (and logged)
+#: so a single no-overlap query can't go quadratic on a large index.
+FALLBACK_SCAN_CAP = 512
+
+#: Memoized query transforms kept per index between mutations.
+QUERY_CACHE_SIZE = 256
 
 
 @dataclass
@@ -24,6 +42,7 @@ class Document:
     text: str
     metadata: dict = field(default_factory=dict)
     vector: dict = field(default_factory=dict)
+    norm: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -42,6 +61,7 @@ class RetrievalIndex:
         self._documents = {}
         self._inverted = {}
         self._vectorizer = TfIdfVectorizer()
+        self._query_cache = {}
         self._dirty = False
 
     def __len__(self):
@@ -80,12 +100,14 @@ class RetrievalIndex:
         """
         self._refresh()
         query_text = query if not extra_text else f"{query}\n{extra_text}"
-        query_vector = self._vectorizer.transform(query_text)
+        query_vector, query_norm = self._embed_query(query_text)
         pool = self._candidate_pool(query_text, candidates)
         hits = []
         for doc_id in pool:
             document = self._documents[doc_id]
-            score = cosine(query_vector, document.vector)
+            score = cosine_with_norms(
+                query_vector, document.vector, query_norm, document.norm
+            )
             hits.append(SearchHit(doc_id, score, document))
         hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
         return hits[:k]
@@ -96,7 +118,22 @@ class RetrievalIndex:
         document = self._documents.get(doc_id)
         if document is None:
             return 0.0
-        return cosine(self._vectorizer.transform(query), document.vector)
+        query_vector, query_norm = self._embed_query(query)
+        return cosine_with_norms(
+            query_vector, document.vector, query_norm, document.norm
+        )
+
+    def _embed_query(self, query_text):
+        """Memoized ``(vector, norm)`` for a query; valid until mutation."""
+        cached = self._query_cache.get(query_text)
+        if cached is not None:
+            return cached
+        vector = self._vectorizer.transform(query_text)
+        entry = (vector, l2_norm(vector))
+        if len(self._query_cache) >= QUERY_CACHE_SIZE:
+            self._query_cache.clear()
+        self._query_cache[query_text] = entry
+        return entry
 
     def _candidate_pool(self, query_text, candidates):
         if candidates is not None:
@@ -106,20 +143,39 @@ class RetrievalIndex:
         pool = set()
         for term in terms:
             pool.update(self._inverted.get(term, ()))
-        if not pool:  # fall back to scanning everything (small collections)
+        if not pool:
+            # Fall back to scanning the collection, but never unboundedly:
+            # on a large index a no-overlap query would otherwise score
+            # every document only to find nothing better than noise.
+            if len(self._documents) > FALLBACK_SCAN_CAP:
+                logger.warning(
+                    "empty pre-filter for query %r: capping fallback scan "
+                    "at %d of %d documents",
+                    query_text[:80], FALLBACK_SCAN_CAP, len(self._documents),
+                )
+                return list(self._documents)[:FALLBACK_SCAN_CAP]
             return list(self._documents)
         return sorted(pool)
 
     def _refresh(self):
         if not self._dirty:
             return
+        # One normalisation pass per document, shared by the vectorizer fit,
+        # the document embedding, and the inverted index.
+        tokens_by_doc = {
+            doc_id: normalize(document.text)
+            for doc_id, document in self._documents.items()
+        }
         self._vectorizer = TfIdfVectorizer()
-        self._vectorizer.fit(
-            document.text for document in self._documents.values()
-        )
+        for doc_id, document in self._documents.items():
+            self._vectorizer.fit_one(document.text, tokens=tokens_by_doc[doc_id])
         self._inverted = {}
         for doc_id, document in self._documents.items():
-            document.vector = self._vectorizer.transform(document.text)
-            for term in set(normalize(document.text)):
+            document.vector = self._vectorizer.transform(
+                document.text, tokens=tokens_by_doc[doc_id]
+            )
+            document.norm = l2_norm(document.vector)
+            for term in set(tokens_by_doc[doc_id]):
                 self._inverted.setdefault(term, set()).add(doc_id)
+        self._query_cache = {}
         self._dirty = False

@@ -5,19 +5,32 @@ from __future__ import annotations
 import math
 
 
+def l2_norm(vector):
+    """Euclidean norm of a sparse dict (0.0 when empty)."""
+    return math.sqrt(sum(value * value for value in vector.values()))
+
+
 def cosine(left, right):
     """Cosine similarity of two sparse dicts (0.0 when either is empty)."""
     if not left or not right:
         return 0.0
+    # Vectors from TfIdfVectorizer.transform are already L2-normalised, but
+    # recompute defensively so raw count dicts also work.
+    return cosine_with_norms(left, right, l2_norm(left), l2_norm(right))
+
+
+def cosine_with_norms(left, right, left_norm, right_norm):
+    """Cosine similarity with both norms supplied by the caller.
+
+    The norm of an indexed document never changes between refreshes, and a
+    query's norm is fixed for the whole candidate scan — precomputing both
+    turns the per-candidate cost into a single sparse dot product.
+    """
+    if not left or not right or left_norm == 0 or right_norm == 0:
+        return 0.0
     if len(right) < len(left):
         left, right = right, left
     dot = sum(value * right.get(term, 0.0) for term, value in left.items())
-    # Vectors from TfIdfVectorizer.transform are already L2-normalised, but
-    # recompute defensively so raw count dicts also work.
-    left_norm = math.sqrt(sum(value * value for value in left.values()))
-    right_norm = math.sqrt(sum(value * value for value in right.values()))
-    if left_norm == 0 or right_norm == 0:
-        return 0.0
     return dot / (left_norm * right_norm)
 
 

@@ -31,9 +31,19 @@ class TfIdfVectorizer:
     def fit(self, texts):
         """Accumulate document frequencies from ``texts``. Returns self."""
         for text in texts:
-            self._document_count += 1
-            for term in set(self._terms(text)):
-                self._document_frequency[term] += 1
+            self.fit_one(text)
+        return self
+
+    def fit_one(self, text, tokens=None):
+        """Accumulate document frequencies from one text. Returns self.
+
+        ``tokens`` is an optional precomputed ``normalize(text)`` result so
+        callers that already tokenized the text (the retrieval index does,
+        for its inverted index) don't pay for normalisation twice.
+        """
+        self._document_count += 1
+        for term in set(self._terms(text, tokens)):
+            self._document_frequency[term] += 1
         return self
 
     @property
@@ -42,9 +52,12 @@ class TfIdfVectorizer:
 
     # -- transforming ----------------------------------------------------------
 
-    def transform(self, text):
-        """Embed ``text`` as a sparse, L2-normalised TF-IDF dict."""
-        counts = Counter(self._terms(text))
+    def transform(self, text, tokens=None):
+        """Embed ``text`` as a sparse, L2-normalised TF-IDF dict.
+
+        ``tokens`` optionally carries a precomputed ``normalize(text)``.
+        """
+        counts = Counter(self._terms(text, tokens))
         if not counts:
             return {}
         vector = {}
@@ -63,8 +76,9 @@ class TfIdfVectorizer:
         frequency = self._document_frequency.get(term, 0)
         return math.log((1 + self._document_count) / (1 + frequency)) + 1.0
 
-    def _terms(self, text):
-        tokens = normalize(text)
+    def _terms(self, text, tokens=None):
+        if tokens is None:
+            tokens = normalize(text)
         terms = list(tokens)
         if self.use_bigrams:
             terms.extend(ngrams(tokens, 2))

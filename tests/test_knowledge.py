@@ -134,6 +134,30 @@ class TestStore:
         snapshot["examples"][0].description = "mutated"
         assert knowledge.example("ex1").description != "mutated"
 
+    def test_add_example_invalidates_index_norms(self, knowledge):
+        from repro.text import l2_norm
+
+        knowledge.search_examples("country", k=1)  # warm index + norms
+        knowledge.add_example(
+            DecomposedExample("ex-new", "wombat census by country",
+                              "SELECT COUNT(*) FROM WOMBATS")
+        )
+        hits = knowledge.search_examples("wombat census", k=1)
+        assert hits[0].doc_id == "ex-new"
+        document = knowledge._example_index.get("ex-new")
+        assert document.norm == pytest.approx(l2_norm(document.vector))
+
+    def test_delete_example_invalidates_cached_search(self, knowledge):
+        assert any(
+            hit.doc_id == "ex1"
+            for hit in knowledge.search_examples("filter by country", k=2)
+        )
+        knowledge.delete_example("ex1")
+        assert all(
+            hit.doc_id != "ex1"
+            for hit in knowledge.search_examples("filter by country", k=2)
+        )
+
 
 class TestDecompositionBuilders:
     SQL = (

@@ -7,7 +7,9 @@ from repro.text import (
     TfIdfVectorizer,
     char_ngrams,
     cosine,
+    cosine_with_norms,
     jaccard,
+    l2_norm,
     ngrams,
     normalize,
     overlap_coefficient,
@@ -98,6 +100,20 @@ class TestSimilarity:
         assert overlap_coefficient(["a"], ["a", "b", "c"]) == 1.0
         assert overlap_coefficient([], ["a"]) == 0.0
 
+    def test_l2_norm(self):
+        assert l2_norm({"a": 3.0, "b": 4.0}) == pytest.approx(5.0)
+        assert l2_norm({}) == 0.0
+
+    def test_cosine_with_norms_matches_cosine(self):
+        left = {"a": 1.0, "b": 2.0}
+        right = {"b": 0.5, "c": 4.0}
+        assert cosine_with_norms(
+            left, right, l2_norm(left), l2_norm(right)
+        ) == pytest.approx(cosine(left, right))
+
+    def test_cosine_with_norms_zero_norm(self):
+        assert cosine_with_norms({"a": 1.0}, {"a": 1.0}, 0.0, 1.0) == 0.0
+
 
 class TestRetrievalIndex:
     @pytest.fixture()
@@ -148,3 +164,47 @@ class TestRetrievalIndex:
     def test_search_falls_back_to_scan_when_no_term_overlap(self, index):
         hits = index.search("zzz qqq", k=1)
         assert len(hits) <= 1  # no crash; may return weak or no hit
+
+    def test_norms_precomputed_on_refresh(self, index):
+        index.search("revenue", k=1)  # forces a refresh
+        for document in index.documents():
+            assert document.norm == pytest.approx(l2_norm(document.vector))
+            assert document.norm > 0
+
+    def test_add_invalidates_norms_and_query_cache(self, index):
+        index.search("sponsors", k=3)  # warm query cache + norms
+        index.add("d4", "sponsors sponsors sponsors everywhere")
+        hits = index.search("sponsors", k=1)
+        assert hits[0].doc_id == "d4"
+        assert index.get("d4").norm > 0
+
+    def test_remove_invalidates_norms_and_query_cache(self, index):
+        assert index.search("revenue", k=1)[0].doc_id == "d1"
+        index.remove("d1")
+        hits = index.search("revenue", k=3)
+        assert all(hit.doc_id != "d1" for hit in hits)
+
+    def test_repeated_query_uses_cached_embedding(self, index):
+        first = index.search("revenue of organisations", k=3)
+        second = index.search("revenue of organisations", k=3)
+        assert [(h.doc_id, h.score) for h in first] == [
+            (h.doc_id, h.score) for h in second
+        ]
+        assert "revenue of organisations" in index._query_cache
+
+    def test_fallback_scan_capped_on_large_collection(self, caplog):
+        from repro.text.index import FALLBACK_SCAN_CAP
+
+        big = RetrievalIndex()
+        for position in range(FALLBACK_SCAN_CAP + 10):
+            big.add(f"doc-{position}", f"alpha beta entry {position}")
+        big.search("alpha", k=1)  # refresh
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.text.index"):
+            pool = big._candidate_pool("zzzz qqqq", None)
+        assert len(pool) == FALLBACK_SCAN_CAP
+        assert "capping fallback scan" in caplog.text
+
+    def test_fallback_scan_uncapped_on_small_collection(self, index):
+        assert len(index._candidate_pool("zzzz qqqq", None)) == len(index)
