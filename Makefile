@@ -1,0 +1,27 @@
+# CI entry points for the GenEdit reproduction.
+#
+#   make lint     - the full lint job: bytecode-compile everything, run the
+#                   tier-1 test suite, then gate on the known-bad SQL corpus
+#                   (fails on any rule-coverage regression)
+#   make compile  - python -m compileall over src/
+#   make test     - tier-1 pytest suite
+#   make lint-corpus - diagnostics corpus + CLI smoke only
+#   make bench    - regenerate the paper tables
+
+PYTHON ?= python
+
+.PHONY: lint compile test lint-corpus bench
+
+lint: compile test lint-corpus
+
+compile:
+	$(PYTHON) -m compileall -q src
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+lint-corpus:
+	$(PYTHON) scripts/lint_corpus.py
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench all

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI gate: lint the known-bad SQL corpus and check rule coverage.
+
+Each file under ``tests/fixtures/sql_corpus/`` starts with an
+``-- expect: CODE[, CODE...]`` header naming the diagnostic codes its SQL
+must trigger against the demo catalog. The script fails when
+
+* an expected code does not fire (a rule regressed), or
+* some registered rule is covered by no corpus file (coverage regressed —
+  add a fixture when you add a rule), or
+* the ``python -m repro lint`` smoke invocation misbehaves.
+
+Run via ``make lint-corpus`` (or ``make lint`` for the full CI lint job).
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.engine import Column, Database  # noqa: E402
+from repro.sql.diagnostics import RULES, DiagnosticsEngine  # noqa: E402
+
+CORPUS = ROOT / "tests" / "fixtures" / "sql_corpus"
+
+
+def demo_database():
+    """The DEPT/EMP demo catalog (mirrors tests/conftest.py)."""
+    db = Database("demo")
+    db.create_table(
+        "DEPT",
+        [
+            Column("DEPT_ID", "INTEGER", "Unique department id."),
+            Column("DEPT_NAME", "TEXT", "Department name."),
+            Column("REGION", "TEXT", "Region."),
+            Column("BUDGET", "FLOAT", "Annual budget."),
+        ],
+        rows=[
+            (1, "Engineering", "West", 1200.0),
+            (2, "Sales", "East", 800.0),
+            (3, "Support", "West", 300.0),
+        ],
+        description="Each row is a department.",
+    )
+    db.create_table(
+        "EMP",
+        [
+            Column("EMP_ID", "INTEGER", "Unique employee id."),
+            Column("EMP_NAME", "TEXT", "Employee name."),
+            Column("DEPT_ID", "INTEGER", "Department."),
+            Column("SALARY", "FLOAT", "Annual salary."),
+            Column("HIRED", "DATE", "Hire date."),
+            Column("ACTIVE", "BOOLEAN", "Still employed."),
+        ],
+        rows=[
+            (1, "Ada", 1, 120.0, datetime.date(2020, 1, 15), True),
+            (2, "Grace", 1, 140.0, datetime.date(2019, 6, 1), True),
+            (3, "Alan", 2, 90.0, datetime.date(2021, 3, 10), False),
+            (4, "Edsger", 2, 95.0, datetime.date(2022, 7, 20), True),
+            (5, "Barbara", 3, 70.0, datetime.date(2023, 2, 5), True),
+            (6, "Donald", 3, None, datetime.date(2018, 11, 30), True),
+        ],
+        description="Each row is an employee.",
+    )
+    return db
+
+
+def parse_fixture(path):
+    """Split a corpus file into (expected codes, SQL text)."""
+    expected = set()
+    sql_lines = []
+    for line in path.read_text().splitlines():
+        header = line.strip()
+        if header.lower().startswith("-- expect:"):
+            expected.update(
+                code.strip().upper()
+                for code in header.split(":", 1)[1].split(",")
+                if code.strip()
+            )
+        else:
+            sql_lines.append(line)
+    return expected, "\n".join(sql_lines).strip()
+
+
+def cli_smoke():
+    """One end-to-end ``repro lint`` invocation (exit codes + rendering)."""
+    from repro.cli import build_arg_parser
+
+    out = io.StringIO()
+    args = build_arg_parser().parse_args(
+        ["lint", "SELECT ORG_NAM FROM SPORTS_ORGS", "--db", "sports_holdings"]
+    )
+    code = args.func(args, out=out)
+    if code != 1 or "GE002" not in out.getvalue():
+        raise SystemExit(
+            f"CLI smoke failed: exit {code}, output:\n{out.getvalue()}"
+        )
+
+
+def main():
+    engine = DiagnosticsEngine(demo_database())
+    fixtures = sorted(CORPUS.glob("*.sql"))
+    if not fixtures:
+        raise SystemExit(f"No corpus files under {CORPUS}")
+    failures = []
+    covered = set()
+    for path in fixtures:
+        expected, sql = parse_fixture(path)
+        if not expected:
+            failures.append(f"{path.name}: no '-- expect:' header")
+            continue
+        unknown = expected - set(RULES)
+        if unknown:
+            failures.append(f"{path.name}: unknown code(s) {sorted(unknown)}")
+            continue
+        emitted = {diag.code for diag in engine.run_sql(sql)}
+        missing = expected - emitted
+        if missing:
+            failures.append(
+                f"{path.name}: expected {sorted(missing)} did not fire "
+                f"(emitted {sorted(emitted) or 'nothing'})"
+            )
+        covered.update(expected & emitted)
+    uncovered = set(RULES) - covered
+    if uncovered:
+        failures.append(
+            f"rule-coverage regression: no corpus fixture fires "
+            f"{sorted(uncovered)}"
+        )
+    cli_smoke()
+    if failures:
+        print("lint corpus FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"lint corpus OK: {len(fixtures)} fixture(s), "
+        f"{len(covered)}/{len(RULES)} rules covered, CLI smoke passed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,7 +30,8 @@ from .metrics import EvaluationReport, QuestionOutcome, execution_match
 from .schemas import DEFAULT_SEED, build_all
 
 #: Version stamp for the ``profile --json`` payload (see BENCH_baseline.json).
-PROFILE_SCHEMA_VERSION = 1
+#: v2 added the ``diagnostics`` section (lint_caught / execution_caught).
+PROFILE_SCHEMA_VERSION = 2
 
 
 def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
@@ -84,6 +85,8 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                 issues=tuple(result.plan.issues) if result.plan else (),
                 cost_usd=result.cost_usd,
                 latency_ms=result.latency_ms,
+                lint_caught=result.context.lint_caught,
+                execution_caught=result.context.execution_caught,
             )))
         return outcomes
 
@@ -495,6 +498,14 @@ def profile(context=None, limit=None, verbose=True, as_json=False):
         "stages": stages,
         "total_s": round(sum(stages.values()), 4),
         "cache": context.cache.stats(),
+        "diagnostics": {
+            "lint_caught": sum(
+                result.context.lint_caught for result in results
+            ),
+            "execution_caught": sum(
+                result.context.execution_caught for result in results
+            ),
+        },
     }
     if verbose:
         if as_json:

@@ -69,6 +69,8 @@ class QuestionOutcome:
     issues: tuple = ()
     cost_usd: float = 0.0
     latency_ms: float = 0.0
+    lint_caught: int = 0        # candidates the diagnostics engine rejected
+    execution_caught: int = 0   # candidates only execution rejected
 
 
 @dataclass
@@ -102,6 +104,16 @@ class EvaluationReport:
     @property
     def total_cost_usd(self):
         return sum(outcome.cost_usd for outcome in self.outcomes)
+
+    @property
+    def lint_caught(self):
+        """Bad candidates the diagnostics engine rejected before execution."""
+        return sum(outcome.lint_caught for outcome in self.outcomes)
+
+    @property
+    def execution_caught(self):
+        """Bad candidates only caught by actually executing them."""
+        return sum(outcome.execution_caught for outcome in self.outcomes)
 
     def row(self):
         """(simple, moderate, challenging, all) EX percentages."""

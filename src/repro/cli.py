@@ -5,6 +5,7 @@ within an analytics engine" (§1, §4.2). This CLI is that thin engine:
 
     python -m repro ask sports_holdings "How many organisations are in Canada?"
     python -m repro ask sports_holdings "..." --trace --plan
+    python -m repro lint "SELECT ..." --db sports_holdings  # SQL diagnostics
     python -m repro solve sports_holdings          # interactive feedback REPL
     python -m repro knowledge sports_holdings      # knowledge-set overview
     python -m repro bench table1                   # experiment harness
@@ -166,6 +167,45 @@ def cmd_solve(args, out=sys.stdout, input_fn=input):
     return 0
 
 
+def cmd_lint(args, out=sys.stdout):
+    """Lint SQL with the diagnostics engine; non-zero exit on errors.
+
+    Unlike ``ask``/``solve`` this needs no knowledge sets — only the
+    database catalog and value profiles — so it starts fast enough to sit
+    in editor hooks and CI.
+    """
+    from .sql.diagnostics import DiagnosticsEngine, Severity
+
+    sql = args.sql
+    if sql == "-":
+        sql = sys.stdin.read()
+    if not sql.strip():
+        print("error: no SQL given", file=out)
+        return 2
+    database = None
+    if args.db is not None:
+        if args.db not in DATABASE_NAMES:
+            raise SystemExit(
+                f"Unknown database {args.db!r}; "
+                f"choose from: {', '.join(DATABASE_NAMES)}"
+            )
+        database = build_all(args.seed)[args.db].database
+    diagnostics = DiagnosticsEngine(database).run_sql(sql)
+    for diagnostic in diagnostics:
+        print(diagnostic.render(), file=out)
+    errors = sum(
+        1 for diag in diagnostics if diag.severity is Severity.ERROR
+    )
+    warnings = sum(
+        1 for diag in diagnostics if diag.severity is Severity.WARNING
+    )
+    if diagnostics:
+        print(f"{errors} error(s), {warnings} warning(s)", file=out)
+    else:
+        print("clean: no diagnostics", file=out)
+    return 1 if errors else 0
+
+
 def cmd_bench(args, out=sys.stdout):
     from .bench.harness import main as harness_main
 
@@ -201,6 +241,17 @@ def build_arg_parser():
     )
     knowledge.add_argument("database")
     knowledge.set_defaults(func=cmd_knowledge)
+
+    lint = commands.add_parser(
+        "lint", help="run the SQL diagnostics engine over a statement"
+    )
+    lint.add_argument("sql", help="SQL text, or '-' to read stdin")
+    lint.add_argument(
+        "--db", default=None,
+        help=f"database catalog to lint against (one of: "
+             f"{', '.join(DATABASE_NAMES)}); omit for structure-only checks",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     solve = commands.add_parser(
         "solve", help="interactive feedback solver session"

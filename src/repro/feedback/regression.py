@@ -4,6 +4,13 @@ Submitted edits "go through regression testing. If they pass, they are
 pending for approval." The regression suite is a set of *golden queries* —
 questions with verified SQL — that must not get worse under the staged
 knowledge set.
+
+Besides the EX comparison, each result records the error-level diagnostic
+codes the staged pipeline's SQL introduces over the live pipeline's
+(``new_error_codes``) — a static early-warning that an edit pushed
+generation toward broken SQL even when execution accuracy happens to
+survive. Lint flags are advisory: they do not affect :attr:`RegressionReport.passed`,
+which the review queue gates on.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from dataclasses import dataclass, field
 
 from ..bench.metrics import execution_match
 from ..pipeline.pipeline import GenEditPipeline
+from ..sql.diagnostics import DiagnosticsEngine
 
 
 @dataclass(frozen=True)
@@ -28,6 +36,7 @@ class RegressionResult:
     question: str
     correct_before: bool
     correct_after: bool
+    new_error_codes: tuple = ()  # GE0xx codes introduced by the staged SQL
 
     @property
     def regressed(self):
@@ -36,6 +45,11 @@ class RegressionResult:
     @property
     def improved(self):
         return not self.correct_before and self.correct_after
+
+    @property
+    def lint_flagged(self):
+        """True when the staged SQL has error diagnostics the live SQL lacks."""
+        return bool(self.new_error_codes)
 
 
 @dataclass
@@ -54,15 +68,23 @@ class RegressionReport:
     def improvements(self):
         return [result for result in self.results if result.improved]
 
+    @property
+    def lint_flags(self):
+        return [result for result in self.results if result.lint_flagged]
+
     def summary(self):
         total = len(self.results)
         regressed = len(self.regressions)
         improved = len(self.improvements)
         status = "PASS" if self.passed else "FAIL"
-        return (
+        line = (
             f"{status}: {total} golden queries, {regressed} regression(s), "
             f"{improved} improvement(s)"
         )
+        flagged = len(self.lint_flags)
+        if flagged:
+            line += f", {flagged} lint flag(s)"
+        return line
 
 
 def run_regression(database, live_knowledge, staged_knowledge,
@@ -70,10 +92,13 @@ def run_regression(database, live_knowledge, staged_knowledge,
     """Compare golden-query accuracy before/after the staged edits."""
     before = GenEditPipeline(database, live_knowledge, config=config)
     after = GenEditPipeline(database, staged_knowledge, config=config)
+    engine = DiagnosticsEngine(database)
     report = RegressionReport()
     for golden in golden_queries:
         result_before = before.generate(golden.question)
         result_after = after.generate(golden.question)
+        codes_before = _error_codes(engine, result_before.sql)
+        codes_after = _error_codes(engine, result_after.sql)
         report.results.append(
             RegressionResult(
                 question=golden.question,
@@ -83,6 +108,14 @@ def run_regression(database, live_knowledge, staged_knowledge,
                 correct_after=execution_match(
                     database, result_after.sql, golden.gold_sql
                 ),
+                new_error_codes=tuple(sorted(codes_after - codes_before)),
             )
         )
     return report
+
+
+def _error_codes(engine, sql):
+    """The set of error-level diagnostic codes for ``sql`` ('' lints clean)."""
+    if not sql:
+        return set()
+    return {diag.code for diag in engine.run_sql(sql) if diag.is_error}

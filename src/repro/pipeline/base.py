@@ -81,8 +81,11 @@ class PipelineContext:
     schema_elements: list = field(default_factory=list)
     plan: Plan | None = None
     candidates: list = field(default_factory=list)     # candidate SQL strings
+    candidate_diagnostics: dict = field(default_factory=dict)  # sql -> [Diagnostic]
     sql: str = ""
     attempts: list = field(default_factory=list)       # (sql, error) pairs
+    lint_caught: int = 0        # candidates rejected by diagnostics pre-execution
+    execution_caught: int = 0   # candidates rejected by actually executing
     trace: list = field(default_factory=list)
     meter: CallMeter = field(default_factory=CallMeter)
 

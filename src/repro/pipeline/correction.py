@@ -1,15 +1,21 @@
 """Self-correction operator (§2.1, §3).
 
-Executes the selected candidate; on a syntactic or semantic error it
-regenerates — here by advancing to the next grounding candidate — with the
-perceived error carried as context, up to ``k`` retries. This mirrors the
-execution-guided retry loop the paper adopts from prior work.
+Works through the candidate queue in two gates. First the diagnostics
+engine lints the candidate: an error-level finding means the execution
+engine would reject it anyway, so the operator skips execution outright
+and feeds the diagnostic codes, messages, and suggestions into the
+regeneration context. Candidates that lint clean (of errors) are then
+executed; a runtime failure is carried as context the same way, up to
+``k`` retries. This mirrors the execution-guided retry loop the paper
+adopts from prior work, with the lint gate supplying the "perceived
+error" more cheaply and precisely than execution.
 """
 
 from __future__ import annotations
 
 from ..engine.errors import ExecutionError
 from ..engine.executor import Executor
+from ..sql.diagnostics import DiagnosticsEngine
 from ..sql.errors import SqlError
 from .base import Operator
 
@@ -20,6 +26,7 @@ class SelfCorrectionOperator(Operator):
     def run(self, context):
         config = context.config
         executor = Executor(context.database)
+        engine = DiagnosticsEngine(context.database)
         attempts = []
         queue = [context.sql] + [
             sql for sql in context.candidates if sql != context.sql
@@ -31,9 +38,31 @@ class SelfCorrectionOperator(Operator):
             if tried > config.max_retries:
                 break
             tried += 1
+            diagnostics = context.candidate_diagnostics.get(sql)
+            if diagnostics is None:
+                diagnostics = engine.run_sql(sql)
+                context.candidate_diagnostics[sql] = diagnostics
+            errors = [diag for diag in diagnostics if diag.is_error]
+            if errors:
+                # The engine would reject this candidate too — skip the
+                # execution and regenerate from the lint findings.
+                context.lint_caught += 1
+                summary = "; ".join(diag.render() for diag in errors[:3])
+                attempts.append((sql, f"lint: {summary}"))
+                context.add_trace(
+                    self.name,
+                    f"attempt {tried} lint-rejected: {summary}",
+                )
+                findings = "\n".join(diag.render() for diag in errors)
+                context.meter.record(
+                    "self_correct", "gpt-4o",
+                    f"Diagnostics:\n{findings}\nRegenerate the SQL.", sql,
+                )
+                continue
             try:
                 executor.execute(sql)
             except (SqlError, ExecutionError) as error:
+                context.execution_caught += 1
                 attempts.append((sql, str(error)))
                 context.add_trace(
                     self.name,

@@ -1,17 +1,16 @@
 """SQL generation operator (the second model call of §3.1.2).
 
 Renders candidate SQL from the plan's grounded spec (and the grounding
-alternates) with the shared builders, validates each candidate with the
-static analyzer, and picks the best one — "if more than one candidate query
-is generated, GenEdit picks the 'best' one". Candidates that fail analysis
-are kept for the self-correction operator to work through.
+alternates) with the shared builders, lints every candidate with the
+diagnostics engine, and picks the one with the best severity-weighted
+score — "if more than one candidate query is generated, GenEdit picks the
+'best' one". Each candidate's diagnostics are stashed on the context so
+the self-correction operator can reuse them without re-analyzing.
 """
 
 from __future__ import annotations
 
-from ..sql.analyzer import Analyzer
-from ..sql.errors import SqlError
-from ..sql.parser import parse_cached
+from ..sql.diagnostics import DiagnosticsEngine, severity_score
 from .base import Operator
 from .builders import build_sql
 from .prompt import assemble_prompt
@@ -62,26 +61,23 @@ class GenerationOperator(Operator):
             fitted.prompt,
             rendered[0] if rendered else "",
         )
-        analyzer = Analyzer(context.database)
-        chosen = None
-        for sql in rendered:
-            issues = self._analyze(analyzer, sql)
-            if not issues:
-                chosen = sql
-                break
-        if chosen is None and rendered:
-            chosen = rendered[0]
-        context.sql = chosen or ""
-        context.add_trace(
-            self.name,
-            f"{len(rendered)} candidate(s); selected "
-            f"{'analyzer-clean' if chosen and not self._analyze(analyzer, chosen) else 'first'} candidate",
-        )
+        # Lint once per candidate; selection and the trace reuse the same
+        # diagnostics (previously the chosen candidate was analyzed twice).
+        engine = DiagnosticsEngine(context.database)
+        scored = []
+        for index, sql in enumerate(rendered):
+            diagnostics = engine.run_sql(sql)
+            context.candidate_diagnostics[sql] = diagnostics
+            scored.append((severity_score(diagnostics), index, sql))
+        if scored:
+            best_score, best_index, chosen = min(scored)
+            context.sql = chosen
+            context.add_trace(
+                self.name,
+                f"{len(rendered)} candidate(s); selected #{best_index + 1} "
+                f"with lint score {best_score}",
+            )
+        else:
+            context.sql = ""
+            context.add_trace(self.name, "0 candidate(s); nothing selected")
         return context
-
-    def _analyze(self, analyzer, sql):
-        try:
-            query = parse_cached(sql)
-        except SqlError as error:
-            return [str(error)]
-        return analyzer.analyze(query)

@@ -1,8 +1,9 @@
-"""SQL frontend: tokenizer, parser, AST, printer, analyzer, rewriter,
+"""SQL frontend: tokenizer, parser, AST, printer, diagnostics, rewriter,
 and the sub-statement decomposer used by GenEdit's knowledge set."""
 
 from .analyzer import AnalysisIssue, Analyzer
 from .decompose import SqlUnit, decompose
+from .diagnostics import Diagnostic, DiagnosticsEngine, Severity, diagnose
 from .errors import (
     SqlAnalysisError,
     SqlError,
@@ -17,6 +18,9 @@ from .tokens import Token, TokenType, tokenize
 __all__ = [
     "AnalysisIssue",
     "Analyzer",
+    "Diagnostic",
+    "DiagnosticsEngine",
+    "Severity",
     "SqlAnalysisError",
     "SqlError",
     "SqlSyntaxError",
@@ -25,6 +29,7 @@ __all__ = [
     "Token",
     "TokenType",
     "decompose",
+    "diagnose",
     "format_sql",
     "parse",
     "parse_cached",

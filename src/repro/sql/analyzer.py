@@ -1,28 +1,43 @@
-"""Static semantic analysis of parsed queries against a database schema.
+"""Back-compat facade over the :mod:`repro.sql.diagnostics` engine.
 
-The analyzer answers "would this query make sense?" without executing it:
-unknown tables/CTEs, unresolvable or ambiguous columns, set-operation arity
-mismatches, and aggregates in WHERE. GenEdit's self-correction operator runs
-the analyzer first (cheap, precise messages) and only then executes; both
-kinds of findings become regeneration context.
+Historically this module held a standalone five-check analyzer whose
+docstring *claimed* the self-correction operator ran it first — it never
+did. The checks now live in the diagnostics engine (which the pipeline
+really does invoke; see :mod:`repro.pipeline.correction`), and this module
+keeps the original ``Analyzer``/``AnalysisIssue`` API for existing callers:
+``analyze()`` returns only the error-level findings, translated to the
+legacy issue kinds.
 
-The analysis is deliberately tolerant where warehouses are tolerant —
-unqualified columns that resolve in an outer (correlated) scope are fine,
-GROUP BY may use select aliases — and strict where generation mistakes
-cluster: misspelled tables and columns.
+New code should use :class:`repro.sql.diagnostics.DiagnosticsEngine`
+directly — it adds severities, typed checks, source spans, and
+suggestions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from . import ast_nodes as ast
+from .diagnostics import DiagnosticsEngine, Severity, aggregate_functions
 from .errors import SqlAnalysisError
+
+
+def __getattr__(name):
+    # Legacy private name, now sourced from the execution engine's registry
+    # via the diagnostics package (lazy: see checker.aggregate_functions).
+    if name == "_AGGREGATES":
+        return aggregate_functions()
+    raise AttributeError(name)
+
+
+#: Diagnostic codes whose slug changed; mapped back to the legacy kind.
+_LEGACY_KINDS = {
+    "GE007": "star",
+}
 
 
 @dataclass(frozen=True)
 class AnalysisIssue:
-    """One semantic problem found in a query."""
+    """One semantic problem found in a query (legacy record)."""
 
     kind: str
     message: str
@@ -31,269 +46,30 @@ class AnalysisIssue:
         return f"[{self.kind}] {self.message}"
 
 
-_AGGREGATES = frozenset(
-    {"COUNT", "SUM", "AVG", "MIN", "MAX", "TOTAL", "GROUP_CONCAT"}
-)
-
-
-class _Scope:
-    """Visible relations during analysis: binding -> set of column names."""
-
-    def __init__(self, parent=None):
-        self.parent = parent
-        self.relations = {}
-
-    def add(self, binding, columns):
-        self.relations[binding.upper()] = {
-            column.upper() for column in columns
-        }
-
-    def resolve_column(self, table, name):
-        """Return 'ok', 'unknown', or 'ambiguous'."""
-        upper_name = name.upper()
-        if table is not None:
-            upper_table = table.upper()
-            scope = self
-            while scope is not None:
-                columns = scope.relations.get(upper_table)
-                if columns is not None:
-                    return "ok" if upper_name in columns else "unknown"
-                scope = scope.parent
-            return "unknown"
-        scope = self
-        while scope is not None:
-            hits = sum(
-                1 for columns in scope.relations.values()
-                if upper_name in columns
-            )
-            if hits == 1:
-                return "ok"
-            if hits > 1:
-                return "ambiguous"
-            scope = scope.parent
-        return "unknown"
-
-
 class Analyzer:
-    """Analyzes queries against a :class:`~repro.engine.database.Database`."""
+    """Analyzes queries against a :class:`~repro.engine.database.Database`.
+
+    Thin wrapper over :class:`~repro.sql.diagnostics.DiagnosticsEngine`
+    reporting only error-level findings as legacy :class:`AnalysisIssue`
+    records.
+    """
 
     def __init__(self, database):
-        self.database = database
+        self._engine = DiagnosticsEngine(database)
 
     def analyze(self, query):
-        """Return a list of :class:`AnalysisIssue` (empty when clean)."""
-        issues = []
-        self._analyze_query(query, _Scope(), {}, issues)
-        return issues
+        """Return the error-level issues found in a parsed query."""
+        return [
+            AnalysisIssue(
+                kind=_LEGACY_KINDS.get(diag.code, diag.slug),
+                message=diag.message,
+            )
+            for diag in self._engine.run(query)
+            if diag.severity is Severity.ERROR
+        ]
 
     def check(self, query):
         """Raise :class:`SqlAnalysisError` on the first issue found."""
         issues = self.analyze(query)
         if issues:
             raise SqlAnalysisError(str(issues[0]))
-
-    # -- internals ----------------------------------------------------------
-
-    def _analyze_query(self, query, outer_scope, outer_ctes, issues):
-        ctes = dict(outer_ctes)
-        for cte in query.ctes:
-            columns = self._body_columns(cte.query.body, outer_scope, ctes, issues)
-            self._analyze_query(cte.query, outer_scope, ctes, issues)
-            if cte.columns:
-                if columns is not None and len(cte.columns) != len(columns):
-                    issues.append(
-                        AnalysisIssue(
-                            "cte-arity",
-                            f"CTE {cte.name} declares {len(cte.columns)} "
-                            f"columns, query returns {len(columns)}",
-                        )
-                    )
-                columns = list(cte.columns)
-            ctes[cte.name.upper()] = columns or []
-        self._analyze_body(query.body, outer_scope, ctes, issues)
-
-    def _analyze_body(self, body, outer_scope, ctes, issues):
-        if isinstance(body, ast.SetOperation):
-            left = self._body_columns(body.left, outer_scope, ctes, issues)
-            right = self._body_columns(body.right, outer_scope, ctes, issues)
-            if left is not None and right is not None and len(left) != len(right):
-                issues.append(
-                    AnalysisIssue(
-                        "set-arity",
-                        f"{body.op} operands return {len(left)} vs "
-                        f"{len(right)} columns",
-                    )
-                )
-            self._analyze_body(body.left, outer_scope, ctes, issues)
-            self._analyze_body(body.right, outer_scope, ctes, issues)
-            return
-        self._analyze_select(body, outer_scope, ctes, issues)
-
-    def _analyze_select(self, select, outer_scope, ctes, issues):
-        scope = _Scope(parent=outer_scope)
-        if select.from_clause is not None:
-            self._register_from(select.from_clause, scope, ctes, issues)
-        alias_names = {
-            item.alias.upper() for item in select.items if item.alias
-        }
-        for item in select.items:
-            if isinstance(item.expr, ast.Star):
-                if select.from_clause is None:
-                    issues.append(
-                        AnalysisIssue("star", "SELECT * without FROM")
-                    )
-                continue
-            self._check_expr(item.expr, scope, ctes, issues)
-        if select.where is not None:
-            self._check_expr(select.where, scope, ctes, issues)
-            if _has_aggregate(select.where):
-                issues.append(
-                    AnalysisIssue(
-                        "aggregate-in-where",
-                        "Aggregate function used in WHERE clause",
-                    )
-                )
-        for expr in select.group_by:
-            if self._is_alias_or_ordinal(expr, alias_names, len(select.items)):
-                continue
-            self._check_expr(expr, scope, ctes, issues)
-        if select.having is not None:
-            self._check_expr(select.having, scope, ctes, issues)
-        for item in select.order_by:
-            if self._is_alias_or_ordinal(
-                item.expr, alias_names, len(select.items)
-            ):
-                continue
-            self._check_expr(item.expr, scope, ctes, issues, lenient=True)
-
-    def _is_alias_or_ordinal(self, expr, alias_names, item_count):
-        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-            return 1 <= expr.value <= item_count
-        if isinstance(expr, ast.ColumnRef) and expr.table is None:
-            return expr.name.upper() in alias_names
-        return False
-
-    def _register_from(self, node, scope, ctes, issues):
-        if isinstance(node, ast.TableRef):
-            columns = self._relation_columns(node.name, ctes)
-            if columns is None:
-                issues.append(
-                    AnalysisIssue(
-                        "unknown-table", f"Unknown table {node.name!r}"
-                    )
-                )
-                scope.add(node.binding_name, [])
-            else:
-                scope.add(node.binding_name, columns)
-            return
-        if isinstance(node, ast.SubqueryRef):
-            self._analyze_query(node.query, scope.parent or _Scope(), ctes, issues)
-            columns = self._body_columns(
-                node.query.body, scope.parent or _Scope(), ctes, issues
-            )
-            scope.add(node.binding_name, columns or [])
-            return
-        if isinstance(node, ast.Join):
-            self._register_from(node.left, scope, ctes, issues)
-            self._register_from(node.right, scope, ctes, issues)
-            if node.condition is not None:
-                self._check_expr(node.condition, scope, ctes, issues)
-            return
-
-    def _relation_columns(self, name, ctes):
-        cte_columns = ctes.get(name.upper())
-        if cte_columns is not None:
-            return cte_columns
-        if self.database is not None and self.database.has_table(name):
-            return self.database.table(name).column_names
-        return None
-
-    def _body_columns(self, body, outer_scope, ctes, issues):
-        """Best-effort output column names of a query body (None = unknown)."""
-        if isinstance(body, ast.SetOperation):
-            return self._body_columns(body.left, outer_scope, ctes, issues)
-        columns = []
-        for item in body.items:
-            if isinstance(item.expr, ast.Star):
-                expanded = self._star_columns(item.expr, body, ctes)
-                if expanded is None:
-                    return None
-                columns.extend(expanded)
-            elif item.alias:
-                columns.append(item.alias)
-            elif isinstance(item.expr, ast.ColumnRef):
-                columns.append(item.expr.name)
-            else:
-                columns.append(f"COLUMN_{len(columns) + 1}")
-        return columns
-
-    def _star_columns(self, star, select, ctes):
-        relations = _flatten_from(select.from_clause)
-        columns = []
-        for relation in relations:
-            if isinstance(relation, ast.TableRef):
-                binding = relation.binding_name
-                if star.table and binding.upper() != star.table.upper():
-                    continue
-                relation_columns = self._relation_columns(relation.name, ctes)
-                if relation_columns is None:
-                    return None
-                columns.extend(relation_columns)
-            else:
-                return None  # derived table star: give up on naming
-        return columns or None
-
-    def _check_expr(self, expr, scope, ctes, issues, lenient=False):
-        for node in _walk_expression(expr):
-            if isinstance(node, ast.ColumnRef):
-                verdict = scope.resolve_column(node.table, node.name)
-                if verdict == "unknown" and not lenient:
-                    issues.append(
-                        AnalysisIssue(
-                            "unknown-column",
-                            f"Cannot resolve column {node.qualified()!r}",
-                        )
-                    )
-                elif verdict == "ambiguous":
-                    issues.append(
-                        AnalysisIssue(
-                            "ambiguous-column",
-                            f"Ambiguous column reference {node.name!r}",
-                        )
-                    )
-            elif isinstance(node, (ast.ScalarSubquery, ast.InSubquery)):
-                self._analyze_query(node.query, scope, ctes, issues)
-            elif isinstance(node, ast.Exists):
-                self._analyze_query(node.query, scope, ctes, issues)
-
-
-def _flatten_from(node):
-    """Yield the leaf relations (TableRef/SubqueryRef) of a FROM tree."""
-    if node is None:
-        return []
-    if isinstance(node, ast.Join):
-        return _flatten_from(node.left) + _flatten_from(node.right)
-    return [node]
-
-
-def _walk_expression(expr):
-    """Walk an expression without descending into subquery bodies."""
-    yield expr
-    if isinstance(expr, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
-        return
-    for child in expr.children():
-        if isinstance(child, ast.Query):
-            continue
-        yield from _walk_expression(child)
-
-
-def _has_aggregate(expr):
-    if isinstance(expr, ast.WindowFunction):
-        return False  # windowed aggregates are not plain aggregates
-    if isinstance(expr, ast.FunctionCall) and (
-        expr.name.upper() in _AGGREGATES
-    ):
-        return True
-    if isinstance(expr, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
-        return False
-    return any(_has_aggregate(child) for child in expr.children())

@@ -18,6 +18,12 @@ from dataclasses import dataclass, field, fields
 class Node:
     """Base class providing generic child iteration and traversal."""
 
+    #: Source location (:class:`~repro.sql.tokens.Span`) attached by the
+    #: parser. A plain class attribute rather than a dataclass field, so
+    #: node equality, hashing, and repr ignore it — rewrites and tests
+    #: compare trees structurally regardless of where they were parsed.
+    span = None
+
     def children(self):
         """Yield every child :class:`Node` in field order."""
         for item in fields(self):

@@ -1,0 +1,768 @@
+"""The diagnostics engine: schema-aware static analysis of parsed queries.
+
+:class:`DiagnosticsEngine` walks a query against a
+:class:`~repro.engine.database.Database` catalog and emits
+:class:`~repro.sql.diagnostics.core.Diagnostic` records for every registered
+rule (see ``core.py`` for the rule table). It subsumes the original
+analyzer's five checks and adds typed checks (via ``typesys.py``), grouping
+and ordering validity, join hygiene, and the value-domain rule that grounds
+string literals in each column's profiled top values — the paper's §2.1
+schema augmentation turned into a lint.
+
+Aggregate and window function names are **derived from the execution
+engine's registries** (``repro.engine.aggregates`` /
+``repro.engine.window``), so the lint and the executor cannot drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+
+from .. import ast_nodes as ast
+from ..errors import SqlAnalysisError, SqlError, SqlSyntaxError
+from ..tokens import Span
+from .core import (
+    GE000, GE001, GE002, GE003, GE004, GE005, GE006, GE007, GE008, GE009,
+    GE010, GE011, GE012, GE013, GE014, GE015, GE016, GE017, Severity,
+)
+from .typesys import (
+    DATE, FAMILY_NUMERIC, TEXT, comparable, family, infer_type,
+)
+
+def aggregate_functions():
+    """Aggregate function names, shared verbatim with the execution engine.
+
+    Imported lazily: repro.engine.errors subclasses repro.sql.errors, so
+    importing engine modules while repro.sql is still initializing would
+    cycle. The engine registry is the single source of truth — the lint
+    cannot drift from the executor (tests assert the identity).
+    """
+    from ...engine.aggregates import AGGREGATE_NAMES
+
+    return AGGREGATE_NAMES
+
+
+def window_functions():
+    """Window-only function names, shared verbatim with the engine."""
+    from ...engine.window import RANKING_FUNCTIONS
+
+    return RANKING_FUNCTIONS
+
+
+def __getattr__(name):
+    # Constant-style aliases, still lazy (PEP 562).
+    if name == "AGGREGATE_FUNCTIONS":
+        return aggregate_functions()
+    if name == "WINDOW_FUNCTIONS":
+        return window_functions()
+    raise AttributeError(name)
+
+_ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+_COMPARISON_OPS = frozenset({"=", "<>", "<", ">", "<=", ">="})
+
+
+class _Relation:
+    """One visible relation: binding, column name/type map, backing table.
+
+    ``opaque`` marks a relation whose columns are unknowable (linting
+    without a catalog) — it claims every column, with unknown type, so
+    downstream rules stay silent instead of cascading false positives.
+    """
+
+    __slots__ = ("binding", "columns", "types", "table", "opaque")
+
+    def __init__(self, binding, columns, types=None, table=None,
+                 opaque=False):
+        self.binding = binding
+        self.columns = [str(column) for column in columns]
+        column_types = types if types and len(types) == len(columns) else None
+        self.types = {
+            column.upper(): (column_types[index] if column_types else None)
+            for index, column in enumerate(self.columns)
+        }
+        self.table = table
+        self.opaque = opaque
+
+    def column_type(self, name):
+        return self.types.get(name.upper())
+
+    def has_column(self, name):
+        return self.opaque or name.upper() in self.types
+
+
+class _Scope:
+    """Visible relations during analysis, chained to the outer scope."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.relations = {}
+
+    def add(self, relation):
+        """Register a relation; returns False when the binding collides."""
+        key = relation.binding.upper()
+        collision = key in self.relations
+        self.relations[key] = relation
+        return not collision
+
+    def resolve(self, table, name):
+        """Resolve a (possibly qualified) column.
+
+        Returns ``(verdict, type, relation)`` where verdict is ``'ok'``,
+        ``'unknown'``, or ``'ambiguous'``; type and relation are only
+        meaningful for ``'ok'``.
+        """
+        if table is not None:
+            upper_table = table.upper()
+            scope = self
+            while scope is not None:
+                relation = scope.relations.get(upper_table)
+                if relation is not None:
+                    if relation.has_column(name):
+                        return "ok", relation.column_type(name), relation
+                    return "unknown", None, None
+                scope = scope.parent
+            return "unknown", None, None
+        scope = self
+        while scope is not None:
+            hits = [
+                relation for relation in scope.relations.values()
+                if relation.has_column(name)
+            ]
+            if len(hits) == 1:
+                return "ok", hits[0].column_type(name), hits[0]
+            if len(hits) > 1:
+                if any(hit.opaque for hit in hits):
+                    return "ok", None, None  # can't prove ambiguity
+                return "ambiguous", None, None
+            scope = scope.parent
+        return "unknown", None, None
+
+    def visible_columns(self):
+        """Every column name visible from this scope (for suggestions)."""
+        names = []
+        scope = self
+        while scope is not None:
+            for relation in scope.relations.values():
+                names.extend(relation.columns)
+            scope = scope.parent
+        return names
+
+
+class DiagnosticsEngine:
+    """Runs every registered rule over a query against a database catalog.
+
+    ``database`` may be None, in which case catalog-dependent rules
+    (unknown table/column, types, value domain) stay silent and only
+    structural rules fire.
+    """
+
+    def __init__(self, database=None, top_values_k=5):
+        self.database = database
+        self.top_values_k = top_values_k
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, query):
+        """Return the list of :class:`Diagnostic` for a parsed query."""
+        out = []
+        self._analyze_query(query, _Scope(), {}, out)
+        return out
+
+    def run_sql(self, sql):
+        """Parse and analyze SQL text; parse failures become GE000."""
+        from ..parser import parse_cached
+
+        try:
+            query = parse_cached(sql)
+        except SqlSyntaxError as error:
+            diagnostic = GE000.at(str(error))
+            if error.line is not None and error.column is not None:
+                span = Span(error.position or 0, error.line, error.column)
+                diagnostic = dataclasses.replace(diagnostic, span=span)
+            return [diagnostic]
+        except SqlError as error:
+            return [GE000.at(str(error))]
+        return self.run(query)
+
+    def check(self, query):
+        """Raise :class:`SqlAnalysisError` on the first error-level finding."""
+        for diagnostic in self.run(query):
+            if diagnostic.severity is Severity.ERROR:
+                raise SqlAnalysisError(diagnostic.render())
+
+    # -- query / body structure ---------------------------------------------
+
+    def _analyze_query(self, query, outer_scope, outer_ctes, out):
+        """Analyze one Query; returns (columns, types) of its output."""
+        ctes = dict(outer_ctes)
+        if query.ctes:
+            referenced = {
+                node.name.upper()
+                for node in query.walk()
+                if isinstance(node, ast.TableRef)
+            }
+        for cte in query.ctes:
+            columns, types = self._analyze_query(
+                cte.query, outer_scope, ctes, out
+            )
+            if cte.columns:
+                if columns is not None and len(cte.columns) != len(columns):
+                    out.append(GE006.at(
+                        f"CTE {cte.name} declares {len(cte.columns)} "
+                        f"columns, query returns {len(columns)}",
+                        node=cte,
+                    ))
+                if types is not None and len(types) != len(cte.columns):
+                    types = None
+                columns = list(cte.columns)
+            ctes[cte.name.upper()] = (columns or [], types)
+            if cte.name.upper() not in referenced:
+                out.append(GE014.at(
+                    f"CTE {cte.name} is defined but never referenced",
+                    node=cte,
+                ))
+        return self._analyze_body(query.body, outer_scope, ctes, out)
+
+    def _analyze_body(self, body, outer_scope, ctes, out):
+        if isinstance(body, ast.SetOperation):
+            left_columns, left_types = self._analyze_body(
+                body.left, outer_scope, ctes, out
+            )
+            right_columns, right_types = self._analyze_body(
+                body.right, outer_scope, ctes, out
+            )
+            if (
+                left_columns is not None and right_columns is not None
+                and len(left_columns) != len(right_columns)
+            ):
+                out.append(GE005.at(
+                    f"{body.op} operands return {len(left_columns)} vs "
+                    f"{len(right_columns)} columns",
+                    node=body,
+                ))
+            elif left_types is not None and right_types is not None:
+                for position, (left, right) in enumerate(
+                    zip(left_types, right_types), start=1
+                ):
+                    if not comparable(left, right):
+                        out.append(GE016.at(
+                            f"{body.op} column {position} mixes {left} "
+                            f"and {right}",
+                            node=body,
+                        ))
+            return left_columns, left_types
+        return self._analyze_select(body, outer_scope, ctes, out)
+
+    # -- SELECT blocks -------------------------------------------------------
+
+    def _analyze_select(self, select, outer_scope, ctes, out):
+        scope = _Scope(parent=outer_scope)
+        if select.from_clause is not None:
+            self._register_from(select.from_clause, scope, ctes, out)
+            # Comma-separated FROM items filtered by WHERE are the classic
+            # pre-ANSI join spelling — only an unfiltered cross join is a
+            # likely mistake.
+            if select.where is None:
+                for join in _cross_joins(select.from_clause):
+                    out.append(GE015.at(
+                        "Join without a condition produces a cartesian "
+                        "product",
+                        node=join,
+                    ))
+        alias_names = {
+            item.alias.upper() for item in select.items if item.alias
+        }
+
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                if select.from_clause is None:
+                    out.append(GE007.at(
+                        "SELECT * without FROM", node=item.expr
+                    ))
+                continue
+            self._check_expr(item.expr, scope, ctes, out)
+
+        if select.where is not None:
+            self._check_expr(select.where, scope, ctes, out)
+            aggregate = _first_aggregate(select.where)
+            if aggregate is not None:
+                out.append(GE004.at(
+                    f"Aggregate function {aggregate.name} used in WHERE "
+                    "clause",
+                    node=aggregate,
+                ))
+
+        for expr in select.group_by:
+            if self._is_alias_or_ordinal(expr, alias_names, len(select.items)):
+                continue
+            self._check_expr(expr, scope, ctes, out)
+        self._check_grouping(select, alias_names, out)
+
+        if select.having is not None:
+            self._check_expr(select.having, scope, ctes, out)
+            # Mirrors Executor._needs_grouping: aggregates in the select
+            # list imply grouping, so only their total absence is an error.
+            implicit = any(
+                not isinstance(item.expr, ast.Star)
+                and _contains_aggregate_or_window(item.expr)
+                for item in select.items
+            )
+            if (
+                not select.group_by and not implicit
+                and _first_aggregate(select.having) is None
+            ):
+                out.append(GE013.at(
+                    "HAVING without GROUP BY and without any aggregate "
+                    "(did you mean WHERE?)",
+                    node=select.having,
+                ))
+
+        for item in select.order_by:
+            self._check_order_item(
+                item, select, alias_names, scope, ctes, out
+            )
+
+        return self._output_columns(select, ctes, scope)
+
+    def _is_alias_or_ordinal(self, expr, alias_names, item_count):
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            return 1 <= expr.value <= item_count
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            return expr.name.upper() in alias_names
+        return False
+
+    def _check_grouping(self, select, alias_names, out):
+        """GE012: SELECT columns neither aggregated nor grouped."""
+        if not select.group_by:
+            return
+        grouped_indexes = set()
+        grouped_names = set()
+        grouped_exprs = []
+        aliases = [
+            (item.alias or "").upper() for item in select.items
+        ]
+        for expr in select.group_by:
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                if 1 <= expr.value <= len(select.items):
+                    grouped_indexes.add(expr.value - 1)
+                continue
+            if isinstance(expr, ast.ColumnRef):
+                grouped_names.add(expr.name.upper())
+                if expr.table is None and expr.name.upper() in aliases:
+                    grouped_indexes.add(aliases.index(expr.name.upper()))
+            grouped_exprs.append(expr)
+        for index, item in enumerate(select.items):
+            expr = item.expr
+            if isinstance(expr, (ast.Star, ast.Literal)):
+                continue
+            if index in grouped_indexes:
+                continue
+            if item.alias and item.alias.upper() in grouped_names:
+                continue
+            if _contains_aggregate_or_window(expr):
+                continue
+            if any(expr == grouped for grouped in grouped_exprs):
+                continue
+            if isinstance(expr, ast.ColumnRef) and (
+                expr.name.upper() in grouped_names
+            ):
+                continue
+            label = (
+                item.alias or (
+                    expr.qualified() if isinstance(expr, ast.ColumnRef)
+                    else f"column {index + 1}"
+                )
+            )
+            out.append(GE012.at(
+                f"SELECT column {label} is neither aggregated nor in "
+                "GROUP BY",
+                node=expr,
+            ))
+
+    def _check_order_item(self, item, select, alias_names, scope, ctes, out):
+        """GE008: ORDER BY targets must be resolvable by the engine."""
+        expr = item.expr
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            if not (1 <= expr.value <= len(select.items)):
+                out.append(GE008.at(
+                    f"ORDER BY position {expr.value} out of range "
+                    f"(query returns {len(select.items)} column(s))",
+                    node=expr,
+                ))
+            return
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            if expr.name.upper() in alias_names:
+                return
+            verdict, _type, _relation = scope.resolve(None, expr.name)
+            if verdict == "ok":
+                return
+            if verdict == "ambiguous":
+                out.append(GE003.at(
+                    f"Ambiguous column reference {expr.name!r}", node=expr
+                ))
+                return
+            candidates = sorted(alias_names) + scope.visible_columns()
+            out.append(GE008.at(
+                f"ORDER BY references unknown column or alias "
+                f"{expr.name!r}",
+                node=expr,
+                suggestion=_closest(expr.name, candidates),
+            ))
+            return
+        self._check_expr(expr, scope, ctes, out)
+
+    # -- FROM clause ---------------------------------------------------------
+
+    def _register_from(self, node, scope, ctes, out):
+        if isinstance(node, ast.TableRef):
+            resolved = self._relation_columns(node.name, ctes)
+            if resolved is None:
+                if self.database is not None:
+                    known = [
+                        table.name for table in self.database.tables
+                    ] + [name for name in ctes]
+                    out.append(GE001.at(
+                        f"Unknown table {node.name!r}", node=node,
+                        suggestion=_closest(node.name, known),
+                    ))
+                relation = _Relation(
+                    node.binding_name, [],
+                    opaque=self.database is None,
+                )
+            else:
+                columns, types, table = resolved
+                relation = _Relation(
+                    node.binding_name, columns, types, table
+                )
+            if not scope.add(relation):
+                out.append(GE009.at(
+                    f"Duplicate table alias {node.binding_name!r} in FROM "
+                    "clause",
+                    node=node,
+                ))
+            return
+        if isinstance(node, ast.SubqueryRef):
+            columns, types = self._analyze_query(
+                node.query, scope.parent or _Scope(), ctes, out
+            )
+            relation = _Relation(node.binding_name, columns or [], types)
+            if not scope.add(relation):
+                out.append(GE009.at(
+                    f"Duplicate table alias {node.binding_name!r} in FROM "
+                    "clause",
+                    node=node,
+                ))
+            return
+        if isinstance(node, ast.Join):
+            self._register_from(node.left, scope, ctes, out)
+            self._register_from(node.right, scope, ctes, out)
+            if node.condition is not None:
+                self._check_expr(node.condition, scope, ctes, out)
+            return
+
+    def _relation_columns(self, name, ctes):
+        """Resolve a relation name to (columns, types, table) or None."""
+        cte_info = ctes.get(name.upper())
+        if cte_info is not None:
+            return cte_info[0], cte_info[1], None
+        if self.database is not None and self.database.has_table(name):
+            table = self.database.table(name)
+            return (
+                table.column_names,
+                [column.type for column in table.columns],
+                table,
+            )
+        return None
+
+    # -- output shape --------------------------------------------------------
+
+    def _output_columns(self, select, ctes, scope):
+        """Best-effort (column names, types) of a SELECT's output."""
+        columns = []
+        types = []
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                expanded = self._star_columns(item.expr, select, ctes)
+                if expanded is None:
+                    return None, None
+                star_columns, star_types = expanded
+                columns.extend(star_columns)
+                types.extend(star_types)
+                continue
+            if item.alias:
+                columns.append(item.alias)
+            elif isinstance(item.expr, ast.ColumnRef):
+                columns.append(item.expr.name)
+            else:
+                columns.append(f"COLUMN_{len(columns) + 1}")
+            types.append(infer_type(
+                item.expr, lambda ref: _resolve_type(scope, ref)
+            ))
+        return columns, types
+
+    def _star_columns(self, star, select, ctes):
+        relations = _flatten_from(select.from_clause)
+        columns = []
+        types = []
+        for relation in relations:
+            if not isinstance(relation, ast.TableRef):
+                return None  # derived-table star: give up on naming
+            binding = relation.binding_name
+            if star.table and binding.upper() != star.table.upper():
+                continue
+            resolved = self._relation_columns(relation.name, ctes)
+            if resolved is None:
+                return None
+            relation_columns, relation_types, _table = resolved
+            columns.extend(relation_columns)
+            types.extend(
+                relation_types if relation_types
+                and len(relation_types) == len(relation_columns)
+                else [None] * len(relation_columns)
+            )
+        if not columns:
+            return None
+        return columns, types
+
+    # -- expressions ---------------------------------------------------------
+
+    def _check_expr(self, expr, scope, ctes, out):
+        resolve = lambda ref: _resolve_type(scope, ref)
+        for node in _walk_expression(expr):
+            if isinstance(node, ast.ColumnRef):
+                self._check_column_ref(node, scope, out)
+            elif isinstance(node, ast.BinaryOp):
+                self._check_binary_op(node, scope, resolve, out)
+            elif isinstance(node, ast.InList):
+                self._check_in_list(node, scope, resolve, out)
+            elif isinstance(node, ast.Between):
+                self._check_span_types(
+                    node, resolve,
+                    [node.expr, node.low, node.high], "BETWEEN", out,
+                )
+            elif isinstance(node, (ast.ScalarSubquery, ast.InSubquery,
+                                   ast.Exists)):
+                self._analyze_query(node.query, scope, ctes, out)
+
+    def _check_column_ref(self, node, scope, out):
+        verdict, _type, _relation = scope.resolve(node.table, node.name)
+        if verdict == "unknown":
+            out.append(GE002.at(
+                f"Cannot resolve column {node.qualified()!r}",
+                node=node,
+                suggestion=_closest(node.name, scope.visible_columns()),
+            ))
+        elif verdict == "ambiguous":
+            out.append(GE003.at(
+                f"Ambiguous column reference {node.name!r}", node=node
+            ))
+
+    def _check_binary_op(self, node, scope, resolve, out):
+        if node.op in _ARITHMETIC_OPS:
+            for operand in (node.left, node.right):
+                operand_type = infer_type(operand, resolve)
+                if _never_numeric(operand, operand_type):
+                    out.append(GE010.at(
+                        f"Arithmetic {node.op!r} over non-numeric operand "
+                        f"of type {operand_type}",
+                        node=node,
+                    ))
+                elif operand_type == TEXT:
+                    out.append(GE011.at(
+                        f"Arithmetic {node.op!r} over TEXT operand relies "
+                        "on numeric-coded text",
+                        node=node,
+                    ))
+            return
+        if node.op in _COMPARISON_OPS:
+            left_type = infer_type(node.left, resolve)
+            right_type = infer_type(node.right, resolve)
+            if not comparable(left_type, right_type):
+                out.append(GE011.at(
+                    f"Comparison {node.op!r} between {left_type} and "
+                    f"{right_type}",
+                    node=node,
+                ))
+            if node.op == "=":
+                self._check_value_domain(node.left, node.right, scope, out)
+                self._check_value_domain(node.right, node.left, scope, out)
+
+    def _check_in_list(self, node, scope, resolve, out):
+        expr_type = infer_type(node.expr, resolve)
+        for item in node.items:
+            item_type = infer_type(item, resolve)
+            if not comparable(expr_type, item_type):
+                out.append(GE011.at(
+                    f"IN list mixes {expr_type} and {item_type}",
+                    node=node,
+                ))
+            self._check_value_domain(node.expr, item, scope, out)
+
+    def _check_span_types(self, node, resolve, operands, label, out):
+        known = [
+            infer_type(operand, resolve)
+            for operand in operands if operand is not None
+        ]
+        for index in range(1, len(known)):
+            if not comparable(known[0], known[index]):
+                out.append(GE011.at(
+                    f"{label} mixes {known[0]} and {known[index]}",
+                    node=node,
+                ))
+                return
+
+    def _check_value_domain(self, ref, literal, scope, out):
+        """GE017: equality against a literal near-missing the value profile.
+
+        Fires only when the literal is *close* to a profiled top value
+        (case difference or small edit distance) — a genuinely rare value
+        is legitimate (the workloads' ``trap:rare-value`` questions depend
+        on it), but ``status = 'Shipped'`` vs ``'shipped'`` is the classic
+        generation failure the paper's §2.1 value augmentation targets.
+        """
+        if not isinstance(ref, ast.ColumnRef):
+            return
+        if not isinstance(literal, ast.Literal) or not isinstance(
+            literal.value, str
+        ):
+            return
+        verdict, column_type, relation = scope.resolve(ref.table, ref.name)
+        if verdict != "ok" or relation is None or relation.table is None:
+            return
+        if column_type != TEXT:
+            return
+        try:
+            top = relation.table.top_values(ref.name, self.top_values_k)
+        except Exception:
+            return
+        known = [value for value in top if isinstance(value, str)]
+        if not known or literal.value in known:
+            return
+        suggestion = next(
+            (
+                value for value in known
+                if value.casefold() == literal.value.casefold()
+            ),
+            None,
+        )
+        if suggestion is None:
+            close = difflib.get_close_matches(
+                literal.value, known, n=1, cutoff=0.8
+            )
+            suggestion = close[0] if close else None
+        if suggestion is None:
+            return
+        out.append(GE017.at(
+            f"Value {literal.value!r} is not among the profiled top "
+            f"values of {relation.binding}.{ref.name}",
+            node=literal,
+            suggestion=suggestion,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _resolve_type(scope, ref):
+    verdict, column_type, _relation = scope.resolve(ref.table, ref.name)
+    return column_type if verdict == "ok" else None
+
+
+def _never_numeric(operand, operand_type):
+    """True when arithmetic over the operand is certain to fail.
+
+    The engine coerces numeric-looking text at run time, so a TEXT column
+    is merely suspect (GE011); a date expression or a string literal that
+    does not parse as a number can never succeed.
+    """
+    if family(operand_type) == FAMILY_NUMERIC or operand_type is None:
+        return False
+    if operand_type == DATE:
+        return True
+    if isinstance(operand, ast.Literal) and isinstance(operand.value, str):
+        try:
+            float(operand.value)
+        except ValueError:
+            return True
+    return False
+
+
+def _closest(name, candidates):
+    """Nearest candidate identifier, or None (used for suggestions).
+
+    Matching is case-insensitive (identifiers are), so ``pey`` still finds
+    ``PAY``.
+    """
+    by_fold = {}
+    for candidate in sorted({str(candidate) for candidate in candidates}):
+        by_fold.setdefault(candidate.casefold(), candidate)
+    if not by_fold:
+        return None
+    exact = by_fold.get(name.casefold())
+    if exact is not None:
+        return exact
+    close = difflib.get_close_matches(
+        name.casefold(), list(by_fold), n=1, cutoff=0.6
+    )
+    return by_fold[close[0]] if close else None
+
+
+def _cross_joins(node):
+    """Yield every condition-less join in a FROM tree."""
+    if not isinstance(node, ast.Join):
+        return
+    if node.condition is None:
+        yield node
+    yield from _cross_joins(node.left)
+    yield from _cross_joins(node.right)
+
+
+def _flatten_from(node):
+    """Yield the leaf relations (TableRef/SubqueryRef) of a FROM tree."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Join):
+        return _flatten_from(node.left) + _flatten_from(node.right)
+    return [node]
+
+
+def _walk_expression(expr):
+    """Walk an expression without descending into subquery bodies."""
+    yield expr
+    if isinstance(expr, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+        return
+    for child in expr.children():
+        if isinstance(child, ast.Query):
+            continue
+        yield from _walk_expression(child)
+
+
+def _first_aggregate(expr):
+    """First plain (non-windowed) aggregate call in an expression, if any."""
+    if isinstance(expr, ast.WindowFunction):
+        return None  # windowed aggregates are not plain aggregates
+    if isinstance(expr, ast.FunctionCall) and (
+        expr.name.upper() in aggregate_functions()
+    ):
+        return expr
+    if isinstance(expr, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+        return None
+    for child in expr.children():
+        found = _first_aggregate(child)
+        if found is not None:
+            return found
+    return None
+
+
+def _contains_aggregate_or_window(expr):
+    if isinstance(expr, ast.WindowFunction):
+        return True
+    if _first_aggregate(expr) is not None:
+        return True
+    for node in _walk_expression(expr):
+        if isinstance(node, ast.WindowFunction):
+            return True
+    return False

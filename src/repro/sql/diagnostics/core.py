@@ -1,0 +1,219 @@
+"""Diagnostic primitives: severities, the rule registry, and records.
+
+Every check the diagnostics engine performs is registered here as a
+:class:`Rule` with a stable code (``GE0xx``), a kebab-case slug, a severity,
+and a one-line summary. Severity encodes the contract with the execution
+engine: ``error`` rules flag SQL the engine would also reject at run time
+(so the self-correction operator may skip execution outright), while
+``warning``/``info`` rules flag SQL that executes but is very likely wrong
+(cartesian products, value-domain mismatches, non-aggregated grouping).
+
+Rules emit :class:`Diagnostic` records carrying the offending node's source
+span (threaded from the tokenizer through the parser) and, where the engine
+can guess, a concrete suggestion — the regeneration context GenEdit's
+self-correction loop feeds back to the model (§2.1, §3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered from most to least severe."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def weight(self):
+        """Contribution of one diagnostic to a candidate's lint score."""
+        return _SEVERITY_WEIGHTS[self]
+
+    def __str__(self):
+        return self.value
+
+
+_SEVERITY_WEIGHTS = {
+    Severity.ERROR: 100,
+    Severity.WARNING: 10,
+    Severity.INFO: 1,
+}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered diagnostic rule."""
+
+    code: str
+    slug: str
+    severity: Severity
+    summary: str
+
+    def at(self, message, node=None, suggestion=None):
+        """Build a :class:`Diagnostic` for this rule.
+
+        ``node`` supplies the source span (when the parser attached one);
+        ``suggestion`` is a concrete replacement hint surfaced to the
+        regeneration prompt and the CLI.
+        """
+        return Diagnostic(
+            code=self.code,
+            slug=self.slug,
+            severity=self.severity,
+            message=message,
+            span=getattr(node, "span", None),
+            suggestion=suggestion,
+        )
+
+
+#: Registry of every rule, keyed by code, in registration order.
+RULES: dict = {}
+
+
+def _register(code, slug, severity, summary):
+    if code in RULES:
+        raise ValueError(f"Duplicate diagnostic rule code {code!r}")
+    rule = Rule(code=code, slug=slug, severity=severity, summary=summary)
+    RULES[code] = rule
+    return rule
+
+
+def get_rule(code):
+    """Return the registered rule for ``code`` (KeyError when unknown)."""
+    return RULES[code]
+
+
+def iter_rules():
+    """Yield every registered rule in code order."""
+    return iter(sorted(RULES.values(), key=lambda rule: rule.code))
+
+
+# ---------------------------------------------------------------------------
+# The rule table. Error-level rules mirror conditions the execution engine
+# rejects; warning-level rules flag legal-but-suspect SQL. DESIGN.md renders
+# this table for documentation; tests assert each code fires.
+# ---------------------------------------------------------------------------
+
+GE000 = _register(
+    "GE000", "syntax-error", Severity.ERROR,
+    "SQL fails to tokenize or parse.",
+)
+GE001 = _register(
+    "GE001", "unknown-table", Severity.ERROR,
+    "FROM references a table that is in neither the catalog nor a CTE.",
+)
+GE002 = _register(
+    "GE002", "unknown-column", Severity.ERROR,
+    "A column reference resolves to no relation in scope.",
+)
+GE003 = _register(
+    "GE003", "ambiguous-column", Severity.ERROR,
+    "An unqualified column name matches more than one relation in scope.",
+)
+GE004 = _register(
+    "GE004", "aggregate-in-where", Severity.ERROR,
+    "An aggregate function appears in a WHERE clause.",
+)
+GE005 = _register(
+    "GE005", "set-arity", Severity.ERROR,
+    "Set-operation operands return different column counts.",
+)
+GE006 = _register(
+    "GE006", "cte-arity", Severity.ERROR,
+    "A CTE declares a different column count than its query returns.",
+)
+GE007 = _register(
+    "GE007", "star-no-from", Severity.ERROR,
+    "SELECT * used without a FROM clause.",
+)
+GE008 = _register(
+    "GE008", "order-by-target", Severity.ERROR,
+    "ORDER BY names an unknown alias or an out-of-range ordinal.",
+)
+GE009 = _register(
+    "GE009", "duplicate-alias", Severity.ERROR,
+    "Two relations in one FROM clause share a binding name.",
+)
+GE010 = _register(
+    "GE010", "arith-type", Severity.ERROR,
+    "Arithmetic over an operand that can never be numeric "
+    "(a date expression or a non-numeric string literal).",
+)
+GE011 = _register(
+    "GE011", "type-mismatch", Severity.WARNING,
+    "Comparison or arithmetic over operands whose declared types "
+    "do not line up (e.g. text vs number).",
+)
+GE012 = _register(
+    "GE012", "group-by-nonagg", Severity.WARNING,
+    "A SELECT column is neither aggregated nor listed in GROUP BY.",
+)
+GE013 = _register(
+    "GE013", "having-misuse", Severity.ERROR,
+    "HAVING in a query with no GROUP BY and no aggregate anywhere.",
+)
+GE014 = _register(
+    "GE014", "unused-cte", Severity.WARNING,
+    "A WITH-clause CTE is never referenced.",
+)
+GE015 = _register(
+    "GE015", "cartesian-join", Severity.WARNING,
+    "A join with no condition produces a cartesian product.",
+)
+GE016 = _register(
+    "GE016", "set-op-type", Severity.WARNING,
+    "Set-operation operand columns have incompatible types.",
+)
+GE017 = _register(
+    "GE017", "value-domain", Severity.WARNING,
+    "A string literal in an equality filter is close to, but not among, "
+    "the column's profiled top values.",
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One problem found in a query, tagged with its rule and location."""
+
+    code: str
+    slug: str
+    severity: Severity
+    message: str
+    span: object = None          # repro.sql.tokens.Span | None
+    suggestion: str = None
+
+    @property
+    def is_error(self):
+        return self.severity is Severity.ERROR
+
+    def render(self):
+        """One-line rendering used by traces, the CLI, and prompts."""
+        location = f" at {self.span}" if self.span is not None else ""
+        hint = f" (did you mean {self.suggestion!r}?)" if self.suggestion else ""
+        return f"{self.code} {self.severity}{location}: {self.message}{hint}"
+
+    def __str__(self):
+        return self.render()
+
+
+def severity_score(diagnostics):
+    """Severity-weighted lint score of a candidate (0 = clean).
+
+    The generation operator ranks candidates by this score; the ordering is
+    a refinement of the old binary clean/dirty split (any error outweighs
+    every possible warning/info mix on realistic diagnostic counts).
+    """
+    return sum(diag.severity.weight for diag in diagnostics)
+
+
+def error_count(diagnostics):
+    return sum(1 for diag in diagnostics if diag.severity is Severity.ERROR)
+
+
+def warning_count(diagnostics):
+    return sum(
+        1 for diag in diagnostics if diag.severity is Severity.WARNING
+    )

@@ -1,0 +1,150 @@
+"""Static type inference over schema columns for the diagnostics engine.
+
+Types are the engine's canonical names (``INTEGER``/``FLOAT``/``TEXT``/
+``BOOLEAN``/``DATE``); ``None`` means "unknown" and suppresses any check
+that would need it — inference is best-effort and every type rule must be
+conservative, because a wrong ``error`` here would make self-correction
+skip a candidate the engine would happily execute.
+
+Compatibility is family-based: the engine compares numerics across
+int/float/bool freely and parses date strings when compared to DATE
+columns, so only cross-family comparisons that cluster with real
+generation mistakes (text vs number, date vs number) are reported.
+"""
+
+from __future__ import annotations
+
+from .. import ast_nodes as ast
+
+
+def _engine_values():
+    # Lazy: repro.engine.errors subclasses repro.sql.errors, so importing
+    # engine modules while repro.sql is still initializing would cycle.
+    # By the time inference runs, both packages are fully imported.
+    from ...engine import values
+
+    return values
+
+TEXT = "TEXT"
+DATE = "DATE"
+NUMERIC_TYPES = frozenset({"INTEGER", "FLOAT", "BOOLEAN"})
+
+FAMILY_NUMERIC = "numeric"
+FAMILY_TEXT = "text"
+FAMILY_DATE = "date"
+
+
+def family(type_name):
+    """Map a canonical type to its comparison family (None = unknown)."""
+    if type_name is None:
+        return None
+    if type_name in NUMERIC_TYPES:
+        return FAMILY_NUMERIC
+    if type_name == TEXT:
+        return FAMILY_TEXT
+    if type_name == DATE:
+        return FAMILY_DATE
+    return None
+
+
+def comparable(left_type, right_type):
+    """True when comparing the two types is plausible.
+
+    Unknown types compare with anything; text and date are mutually
+    comparable (date literals are strings in this dialect).
+    """
+    left_family = family(left_type)
+    right_family = family(right_type)
+    if left_family is None or right_family is None:
+        return True
+    if left_family == right_family:
+        return True
+    return {left_family, right_family} == {FAMILY_TEXT, FAMILY_DATE}
+
+
+#: Return types of functions the inference understands. Aggregates over
+#: numerics return numerics; identity-like functions are handled by
+#: :func:`infer_type` (they return their first argument's type).
+_FUNCTION_RETURN_TYPES = {
+    "COUNT": "INTEGER", "LENGTH": "INTEGER", "INSTR": "INTEGER",
+    "YEAR": "INTEGER", "MONTH": "INTEGER", "DAY": "INTEGER",
+    "QUARTER": "INTEGER", "FLOOR": "INTEGER", "CEIL": "INTEGER",
+    "CEILING": "INTEGER", "ROW_NUMBER": "INTEGER", "RANK": "INTEGER",
+    "DENSE_RANK": "INTEGER", "NTILE": "INTEGER",
+    "SUM": "FLOAT", "AVG": "FLOAT", "TOTAL": "FLOAT", "ROUND": "FLOAT",
+    "ABS": "FLOAT", "SQRT": "FLOAT", "POWER": "FLOAT",
+    "UPPER": TEXT, "LOWER": TEXT, "TRIM": TEXT, "SUBSTR": TEXT,
+    "SUBSTRING": TEXT, "REPLACE": TEXT, "CONCAT": TEXT, "TO_CHAR": TEXT,
+    "STRFTIME": TEXT, "GROUP_CONCAT": TEXT,
+    "DATE": DATE, "DATE_TRUNC": DATE,
+}
+
+#: Functions returning the type of their first argument.
+_FIRST_ARGUMENT_TYPE = frozenset(
+    {"MIN", "MAX", "COALESCE", "IFNULL", "NULLIF", "LAG", "LEAD"}
+)
+
+_ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+_BOOLEAN_OPS = frozenset({"AND", "OR", "=", "<>", "<", ">", "<=", ">="})
+
+
+def infer_type(expr, resolve_column):
+    """Best-effort canonical type of ``expr`` (None = unknown).
+
+    ``resolve_column(column_ref)`` returns the declared type of a
+    :class:`~repro.sql.ast_nodes.ColumnRef` in the current scope, or None.
+    """
+    if isinstance(expr, ast.Literal):
+        if expr.value is None:
+            return None
+        return _engine_values().type_of(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return resolve_column(expr)
+    if isinstance(expr, ast.Cast):
+        return _engine_values().TYPE_ALIASES.get(expr.target_type.upper())
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return "BOOLEAN"
+        return infer_type(expr.operand, resolve_column)
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op == "||":
+            return TEXT
+        if expr.op in _BOOLEAN_OPS:
+            return "BOOLEAN"
+        if expr.op in _ARITHMETIC_OPS:
+            left = infer_type(expr.left, resolve_column)
+            right = infer_type(expr.right, resolve_column)
+            if left == "INTEGER" and right == "INTEGER" and expr.op != "/":
+                return "INTEGER"
+            if family(left) == FAMILY_NUMERIC or family(right) == FAMILY_NUMERIC:
+                return "FLOAT"
+            return None
+        return None
+    if isinstance(expr, ast.FunctionCall):
+        return _call_type(expr, resolve_column)
+    if isinstance(expr, ast.WindowFunction):
+        return _call_type(expr.function, resolve_column)
+    if isinstance(expr, ast.CaseExpression):
+        for _condition, result in expr.whens:
+            inferred = infer_type(result, resolve_column)
+            if inferred is not None:
+                return inferred
+        if expr.default is not None:
+            return infer_type(expr.default, resolve_column)
+        return None
+    if isinstance(
+        expr, (ast.InList, ast.InSubquery, ast.Between, ast.Like,
+               ast.IsNull, ast.Exists)
+    ):
+        return "BOOLEAN"
+    return None  # ScalarSubquery, Star, and anything else: unknown
+
+
+def _call_type(call, resolve_column):
+    name = call.name.upper()
+    mapped = _FUNCTION_RETURN_TYPES.get(name)
+    if mapped is not None:
+        return mapped
+    if name in _FIRST_ARGUMENT_TYPE and call.args:
+        return infer_type(call.args[0], resolve_column)
+    return None

@@ -3,7 +3,10 @@
 The entry point is :func:`parse`, which accepts SQL text and returns a
 :class:`~repro.sql.ast_nodes.Query`. Parse failures raise
 :class:`~repro.sql.errors.SqlSyntaxError` with location information — the
-self-correction operator relies on these messages.
+self-correction operator relies on these messages. Key nodes (relations,
+select blocks, column references, operators, literals) carry a
+:class:`~repro.sql.tokens.Span` on ``node.span`` so the diagnostics engine
+can report the offending source location.
 
 Grammar (informal)::
 
@@ -26,7 +29,7 @@ import functools
 
 from . import ast_nodes as ast
 from .errors import SqlSyntaxError
-from .tokens import Token, TokenType, tokenize
+from .tokens import Span, Token, TokenType, tokenize
 
 _COMPARISON_OPERATORS = frozenset({"=", "<>", "<", ">", "<=", ">="})
 _JOIN_KEYWORDS = ("INNER", "LEFT", "RIGHT", "FULL", "CROSS", "JOIN")
@@ -108,6 +111,11 @@ class _Parser:
             position=token.position, line=token.line, column=token.column,
         )
 
+    def _spanned(self, node, token):
+        """Attach ``token``'s location to ``node`` (diagnostics point here)."""
+        node.span = Span.from_token(token)
+        return node
+
     def _accept_keyword(self, *names):
         if self._current.is_keyword(*names):
             return self._advance()
@@ -165,6 +173,7 @@ class _Parser:
         return ast.Query(body=body, ctes=ctes)
 
     def _parse_cte(self):
+        start = self._current
         name = self._expect_identifier("CTE name")
         columns = []
         if self._accept_punct("("):
@@ -176,16 +185,24 @@ class _Parser:
         self._expect_punct("(")
         query = self.parse_query()
         self._expect_punct(")")
-        return ast.CommonTableExpression(name=name, query=query, columns=columns)
+        return self._spanned(
+            ast.CommonTableExpression(name=name, query=query, columns=columns),
+            start,
+        )
 
     def _parse_set_expr(self):
         node = self._parse_select()
         saw_set_operation = False
         while self._current.is_keyword(*_SET_OPERATORS):
-            op = self._advance().value
+            op_token = self._advance()
             use_all = bool(self._accept_keyword("ALL"))
             right = self._parse_select()
-            node = ast.SetOperation(op=op, left=node, right=right, all=use_all)
+            node = self._spanned(
+                ast.SetOperation(
+                    op=op_token.value, left=node, right=right, all=use_all
+                ),
+                op_token,
+            )
             saw_set_operation = True
         order_by = self._parse_order_by()
         limit, offset = self._parse_limit()
@@ -209,6 +226,7 @@ class _Parser:
             if query.ctes:
                 self._error("WITH not allowed in parenthesised set operand")
             return query.body
+        select_token = self._current
         self._expect_keyword("SELECT")
         distinct = bool(self._accept_keyword("DISTINCT"))
         self._accept_keyword("ALL")
@@ -230,19 +248,22 @@ class _Parser:
         having = None
         if self._accept_keyword("HAVING"):
             having = self.parse_expr()
-        return ast.Select(
-            items=items,
-            from_clause=from_clause,
-            where=where,
-            group_by=group_by,
-            having=having,
-            distinct=distinct,
+        return self._spanned(
+            ast.Select(
+                items=items,
+                from_clause=from_clause,
+                where=where,
+                group_by=group_by,
+                having=having,
+                distinct=distinct,
+            ),
+            select_token,
         )
 
     def _parse_select_item(self):
         if self._current.matches(TokenType.OPERATOR, "*"):
-            self._advance()
-            return ast.SelectItem(expr=ast.Star())
+            star_token = self._advance()
+            return ast.SelectItem(expr=self._spanned(ast.Star(), star_token))
         expr = self.parse_expr()
         alias = None
         if self._accept_keyword("AS"):
@@ -299,9 +320,12 @@ class _Parser:
     def _parse_from(self):
         node = self._parse_from_item()
         while True:
-            if self._accept_punct(","):
+            comma = self._accept_punct(",")
+            if comma is not None:
                 right = self._parse_from_item()
-                node = ast.Join(left=node, right=right, kind="CROSS")
+                node = self._spanned(
+                    ast.Join(left=node, right=right, kind="CROSS"), comma
+                )
                 continue
             if not self._current.is_keyword(*_JOIN_KEYWORDS):
                 break
@@ -309,6 +333,7 @@ class _Parser:
         return node
 
     def _parse_join(self, left):
+        start = self._current
         kind = "INNER"
         if self._accept_keyword("INNER"):
             kind = "INNER"
@@ -329,22 +354,28 @@ class _Parser:
         if kind != "CROSS":
             self._expect_keyword("ON")
             condition = self.parse_expr()
-        return ast.Join(left=left, right=right, kind=kind, condition=condition)
+        return self._spanned(
+            ast.Join(left=left, right=right, kind=kind, condition=condition),
+            start,
+        )
 
     def _parse_from_item(self):
+        start = self._current
         if self._accept_punct("("):
             query = self.parse_query()
             self._expect_punct(")")
             self._accept_keyword("AS")
             alias = self._expect_identifier("derived table alias")
-            return ast.SubqueryRef(query=query, alias=alias)
+            return self._spanned(
+                ast.SubqueryRef(query=query, alias=alias), start
+            )
         name = self._expect_identifier("table name")
         alias = None
         if self._accept_keyword("AS"):
             alias = self._expect_identifier("alias")
         elif self._current.type is TokenType.IDENTIFIER:
             alias = self._advance().value
-        return ast.TableRef(name=name, alias=alias)
+        return self._spanned(ast.TableRef(name=name, alias=alias), start)
 
     # -- expressions ----------------------------------------------------------
 
@@ -415,8 +446,11 @@ class _Parser:
         node = self._parse_additive()
         operator = self._accept_operator(*_COMPARISON_OPERATORS)
         if operator is not None:
-            node = ast.BinaryOp(
-                op=operator.value, left=node, right=self._parse_additive()
+            node = self._spanned(
+                ast.BinaryOp(
+                    op=operator.value, left=node, right=self._parse_additive()
+                ),
+                operator,
             )
         return node
 
@@ -426,8 +460,12 @@ class _Parser:
             operator = self._accept_operator("+", "-", "||")
             if operator is None:
                 return node
-            node = ast.BinaryOp(
-                op=operator.value, left=node, right=self._parse_multiplicative()
+            node = self._spanned(
+                ast.BinaryOp(
+                    op=operator.value, left=node,
+                    right=self._parse_multiplicative(),
+                ),
+                operator,
             )
 
     def _parse_multiplicative(self):
@@ -436,8 +474,11 @@ class _Parser:
             operator = self._accept_operator("*", "/", "%")
             if operator is None:
                 return node
-            node = ast.BinaryOp(
-                op=operator.value, left=node, right=self._parse_unary()
+            node = self._spanned(
+                ast.BinaryOp(
+                    op=operator.value, left=node, right=self._parse_unary()
+                ),
+                operator,
             )
 
     def _parse_unary(self):
@@ -452,19 +493,21 @@ class _Parser:
         token = self._current
         if token.type is TokenType.NUMBER:
             self._advance()
-            return ast.Literal(value=_number_value(token.value))
+            return self._spanned(
+                ast.Literal(value=_number_value(token.value)), token
+            )
         if token.type is TokenType.STRING:
             self._advance()
-            return ast.Literal(value=token.value)
+            return self._spanned(ast.Literal(value=token.value), token)
         if token.is_keyword("NULL"):
             self._advance()
-            return ast.Literal(value=None)
+            return self._spanned(ast.Literal(value=None), token)
         if token.is_keyword("TRUE"):
             self._advance()
-            return ast.Literal(value=True)
+            return self._spanned(ast.Literal(value=True), token)
         if token.is_keyword("FALSE"):
             self._advance()
-            return ast.Literal(value=False)
+            return self._spanned(ast.Literal(value=False), token)
         if token.is_keyword("CAST"):
             return self._parse_cast()
         if token.is_keyword("CASE"):
@@ -540,18 +583,21 @@ class _Parser:
         return ast.CaseExpression(operand=operand, whens=whens, default=default)
 
     def _parse_name_or_call(self):
+        start = self._current
         name = self._advance().value
         if self._accept_punct("("):
-            return self._parse_call_tail(name)
+            return self._parse_call_tail(name, start)
         if self._accept_punct("."):
             if self._current.matches(TokenType.OPERATOR, "*"):
                 self._advance()
-                return ast.Star(table=name)
+                return self._spanned(ast.Star(table=name), start)
             column = self._expect_identifier("column name")
-            return ast.ColumnRef(name=column, table=name)
-        return ast.ColumnRef(name=name)
+            return self._spanned(
+                ast.ColumnRef(name=column, table=name), start
+            )
+        return self._spanned(ast.ColumnRef(name=name), start)
 
-    def _parse_call_tail(self, name):
+    def _parse_call_tail(self, name, start):
         distinct = bool(self._accept_keyword("DISTINCT"))
         args = []
         if not self._accept_punct(")"):
@@ -559,15 +605,21 @@ class _Parser:
             while self._accept_punct(","):
                 args.append(self._parse_call_argument())
             self._expect_punct(")")
-        call = ast.FunctionCall(name=name.upper(), args=args, distinct=distinct)
+        call = self._spanned(
+            ast.FunctionCall(name=name.upper(), args=args, distinct=distinct),
+            start,
+        )
         if self._accept_keyword("OVER"):
-            return ast.WindowFunction(function=call, window=self._parse_window())
+            return self._spanned(
+                ast.WindowFunction(function=call, window=self._parse_window()),
+                start,
+            )
         return call
 
     def _parse_call_argument(self):
         if self._current.matches(TokenType.OPERATOR, "*"):
-            self._advance()
-            return ast.Star()
+            star_token = self._advance()
+            return self._spanned(ast.Star(), star_token)
         return self.parse_expr()
 
     def _parse_window(self):

@@ -32,6 +32,30 @@ class TokenType(Enum):
     EOF = auto()
 
 
+@dataclass(frozen=True)
+class Span:
+    """Source location of a syntactic element (start of its first token).
+
+    The parser attaches spans to AST nodes (``Node.span``) so diagnostics can
+    point at the offending text. Spans live outside dataclass fields, so node
+    equality and repr are unaffected.
+    """
+
+    position: int
+    line: int
+    column: int
+
+    @classmethod
+    def from_token(cls, token):
+        return cls(token.position, token.line, token.column)
+
+    def describe(self):
+        return f"line {self.line}, column {self.column}"
+
+    def __str__(self):
+        return f"{self.line}:{self.column}"
+
+
 #: Reserved words recognised as keywords (upper-cased during lexing).
 KEYWORDS = frozenset(
     {

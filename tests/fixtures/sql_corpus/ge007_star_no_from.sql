@@ -1,0 +1,2 @@
+-- expect: GE007
+SELECT *
