@@ -6,13 +6,14 @@
 #   make compile  - python -m compileall over src/
 #   make test     - tier-1 pytest suite
 #   make lint-corpus - diagnostics corpus + CLI smoke only
+#   make trace-smoke - export one traced run, render it, check the root span
 #   make bench    - regenerate the paper tables
 
 PYTHON ?= python
 
-.PHONY: lint compile test lint-corpus bench
+.PHONY: lint compile test lint-corpus trace-smoke bench
 
-lint: compile test lint-corpus
+lint: compile test lint-corpus trace-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -22,6 +23,15 @@ test:
 
 lint-corpus:
 	$(PYTHON) scripts/lint_corpus.py
+
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro ask sports_holdings \
+		"How many teams are there?" \
+		--trace-out /tmp/repro-trace-smoke.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro trace /tmp/repro-trace-smoke.jsonl \
+		> /tmp/repro-trace-smoke.txt
+	grep -q "^generate " /tmp/repro-trace-smoke.txt
+	grep -q -- "-- metrics snapshot" /tmp/repro-trace-smoke.txt
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench all

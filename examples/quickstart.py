@@ -131,8 +131,8 @@ def main():
         print("Q:", question)
         result = pipeline.generate(question)
         print("\n-- operator trace (Fig. 1) --")
-        for event in result.trace:
-            print("  ", event)
+        for line in result.context.render_trace().splitlines():
+            print("  ", line)
         print("\n-- generated SQL --")
         print(result.sql)
         if result.success:

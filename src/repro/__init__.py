@@ -9,7 +9,9 @@ Public API quick map:
 * :class:`repro.FeedbackSolver` — the continuous-improvement session
   (feedback → recommended edits → staging → regeneration → submission);
 * :class:`repro.Database` / :class:`repro.Executor` — the SQL substrate;
-* :mod:`repro.bench` — the BIRD-like benchmark and experiment harness.
+* :mod:`repro.bench` — the BIRD-like benchmark and experiment harness;
+* :mod:`repro.obs` — tracing (timed spans, JSONL export) and the
+  process-wide metrics registry behind ``python -m repro trace``.
 """
 
 from .engine import Column, Database, Executor, Result, execute_sql
@@ -37,6 +39,7 @@ from .pipeline import (
     GenerationResult,
     PipelineConfig,
 )
+from .obs import MetricsRegistry, Tracer, get_metrics
 from .sql import format_sql, parse, to_sql
 
 __version__ = "1.0.0"
@@ -60,10 +63,13 @@ __all__ = [
     "KnowledgeSet",
     "KnowledgeSetHistory",
     "LoggedQuery",
+    "MetricsRegistry",
     "PipelineConfig",
     "Result",
+    "Tracer",
     "execute_sql",
     "format_sql",
+    "get_metrics",
     "mine_knowledge_set",
     "parse",
     "run_regression",

@@ -21,12 +21,21 @@ the same entry twice.
 
 from __future__ import annotations
 
+from collections import namedtuple
+
 from ..engine.errors import ExecutionError
 from ..engine.executor import Executor
+from ..obs.metrics import get_metrics
 from ..sql.errors import SqlError
 
 _OK = "ok"
 _ERR = "err"
+
+#: ``functools.lru_cache``-shaped stats, so cache consumers can treat
+#: :meth:`EvaluationCache.cache_info` and ``parse_cached.cache_info()``
+#: uniformly (``maxsize`` is None: this cache is version-evicted, not
+#: size-bounded).
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
 
 
 class CachedExecutionError(Exception):
@@ -68,6 +77,7 @@ class EvaluationCache:
         entry = self._results.get(key)
         if entry is None:
             self.misses += 1
+            get_metrics().inc("eval_cache.misses")
             executor = self.executor(database)
             try:
                 entry = (_OK, executor.execute(sql).comparable())
@@ -77,6 +87,7 @@ class EvaluationCache:
             self._results[key] = entry
         else:
             self.hits += 1
+            get_metrics().inc("eval_cache.hits")
         if entry[0] == _ERR:
             raise CachedExecutionError(entry[1])
         return entry[1]
@@ -114,6 +125,15 @@ class EvaluationCache:
             "entries": len(self._results),
             "executors": len(self._executors),
         }
+
+    def cache_info(self):
+        """``lru_cache``-style stats (see :data:`CacheInfo`)."""
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            maxsize=None,
+            currsize=len(self._results),
+        )
 
     def __repr__(self):
         return (

@@ -12,6 +12,13 @@ per-database worker threads (results are reassembled in workload order, so
 the report is bit-identical regardless of completion order). Append
 ``--profile`` to any harness target — or run the ``profile`` target, with
 ``--json`` for machine-readable output — for a per-stage timing table.
+
+Observability: every pipeline run is traced (see :mod:`repro.obs`).
+``--trace-out PATH`` exports each question's span tree plus a final
+metrics-snapshot record as JSONL — in workload order, without touching
+stdout, so the printed tables stay byte-identical — for ``python -m repro
+trace PATH``. ``--metrics`` prints the process-wide registry snapshot
+after the experiment.
 """
 
 from __future__ import annotations
@@ -22,6 +29,8 @@ import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from ..obs.metrics import get_metrics, global_snapshot
+from ..obs.render import render_metrics_snapshot, write_trace
 from ..pipeline.config import DEFAULT_CONFIG
 from ..pipeline.pipeline import GenEditPipeline
 from .bird import build_knowledge_sets, build_workload
@@ -36,7 +45,7 @@ PROFILE_SCHEMA_VERSION = 2
 
 def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                     system_name, questions=None, cache=None,
-                    max_workers=None):
+                    max_workers=None, trace_sink=None):
     """Run one system over the workload and return an EvaluationReport.
 
     ``make_pipeline(database, knowledge)`` builds the system under test for
@@ -49,6 +58,11 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
     sizes it to ``min(#databases, cpu_count)``; ``0``/``1`` forces
     sequential). Outcomes are always reassembled in workload order, so the
     report does not depend on scheduling.
+
+    ``trace_sink`` (a list) receives every question's span records — again
+    in workload order regardless of scheduling — with the root span
+    annotated with system/question_id/correct. Collection never touches
+    generation, so the report is identical with or without it.
     """
     question_list = list(
         questions if questions is not None else workload.questions
@@ -57,6 +71,7 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
         cache = EvaluationCache()
     elif cache is False:
         cache = None
+    started = time.perf_counter()
     report = EvaluationReport(system=system_name)
     groups = {}
     for position, question in enumerate(question_list):
@@ -74,6 +89,15 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                 profile.database, result.sql, question.gold_sql,
                 cache=cache,
             )
+            records = None
+            if trace_sink is not None:
+                records = result.trace_records()
+                for record in records:
+                    if record.get("parent_id") is None:
+                        attributes = record.setdefault("attributes", {})
+                        attributes["system"] = system_name
+                        attributes["question_id"] = question.question_id
+                        attributes["correct"] = correct
             outcomes.append((position, QuestionOutcome(
                 question_id=question.question_id,
                 difficulty=question.difficulty,
@@ -87,7 +111,7 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                 latency_ms=result.latency_ms,
                 lint_caught=result.context.lint_caught,
                 execution_caught=result.context.execution_caught,
-            )))
+            ), records))
         return outcomes
 
     if max_workers is None:
@@ -106,8 +130,24 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
             collected = [
                 outcome for future in futures for outcome in future.result()
             ]
-    for _position, outcome in sorted(collected, key=lambda pair: pair[0]):
+    for _position, outcome, records in sorted(
+        collected, key=lambda item: item[0]
+    ):
         report.add(outcome)
+        if trace_sink is not None and records:
+            trace_sink.extend(records)
+    elapsed = time.perf_counter() - started
+    metrics = get_metrics()
+    metrics.inc("harness.questions", len(question_list))
+    metrics.inc("harness.systems")
+    metrics.observe("harness.system_s", elapsed,
+                    buckets=(0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0,
+                             120.0, 300.0))
+    if question_list and elapsed > 0:
+        metrics.set_gauge(
+            "harness.questions_per_s",
+            round(len(question_list) / elapsed, 2),
+        )
     return report
 
 
@@ -144,6 +184,7 @@ class ExperimentContext:
     def __init__(self, seed=DEFAULT_SEED):
         self.seed = seed
         self.cache = EvaluationCache()
+        self.trace_sink = None      # set to a list to collect span records
         self.timings = {}
         self._workload = None
         self._profiles = None
@@ -209,6 +250,7 @@ def run_genedit(context, config=None, questions=None, system_name="GenEdit",
         system_name,
         questions=questions,
         cache=context.cache,
+        trace_sink=context.trace_sink,
     )
 
 
@@ -241,6 +283,7 @@ def table1(context=None, include_baselines=True, verbose=True):
                     knowledge,
                     spec.name,
                     cache=context.cache,
+                    trace_sink=context.trace_sink,
                 )
             )
     reports.append(run_genedit(context))
@@ -322,12 +365,14 @@ def crossover(context=None, verbose=True):
             builder, context.workload, context.profiles,
             context.knowledge_sets, system_name,
             cache=context.cache,
+            trace_sink=context.trace_sink,
         )
         enterprise_report = evaluate_system(
             builder, enterprise, context.profiles,
             context.knowledge_sets, system_name,
             questions=enterprise.questions,
             cache=context.cache,
+            trace_sink=context.trace_sink,
         )
         reports[system_name] = (dev_report, enterprise_report)
         rows.append(
@@ -374,6 +419,7 @@ def model_selection(context=None, verbose=True):
             context.knowledge_sets,
             label,
             cache=context.cache,
+            trace_sink=context.trace_sink,
         )
         reports[label] = report
         questions = len(report.outcomes)
@@ -543,15 +589,39 @@ def feedback_metrics(verbose=True, seed=DEFAULT_SEED):
     return summary
 
 
+def _extract_option(argv, name):
+    """Pop ``name VALUE`` / ``name=VALUE`` from argv; (value, remaining)."""
+    value = None
+    remaining = []
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == name and index + 1 < len(argv):
+            value = argv[index + 1]
+            index += 2
+            continue
+        if arg.startswith(name + "="):
+            value = arg.split("=", 1)[1]
+            index += 1
+            continue
+        remaining.append(arg)
+        index += 1
+    return value, remaining
+
+
 def main(argv=None):
     argv = argv if argv is not None else sys.argv[1:]
+    trace_out, argv = _extract_option(argv, "--trace-out")
     flags = {arg for arg in argv if arg.startswith("--")}
     positional = [arg for arg in argv if not arg.startswith("--")]
     target = positional[0] if positional else "all"
     as_json = "--json" in flags
     context = ExperimentContext()
+    if trace_out is not None:
+        context.trace_sink = []
     if target == "profile":
         profile(context, as_json=as_json)
+        _finish(context, flags, trace_out, target)
         return 0
     if target in ("table1", "all"):
         table1(context)
@@ -573,7 +643,30 @@ def main(argv=None):
     if "--profile" in flags:
         print()
         profile(context, as_json=as_json)
+    _finish(context, flags, trace_out, target)
     return 0
+
+
+def _finish(context, flags, trace_out, target):
+    """Handle ``--metrics`` / ``--trace-out`` after the targets ran.
+
+    The trace-written notice goes to stderr so experiment stdout (the
+    tables the determinism tests byte-compare) is untouched.
+    """
+    if "--metrics" in flags:
+        print()
+        print(render_metrics_snapshot(global_snapshot(context.cache)))
+    if trace_out is not None:
+        count = write_trace(
+            trace_out,
+            context.trace_sink or [],
+            metrics=global_snapshot(context.cache),
+            meta={"target": target, "seed": context.seed},
+        )
+        print(
+            f"wrote {count} span(s) + metrics snapshot to {trace_out}",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":

@@ -5,10 +5,12 @@ within an analytics engine" (§1, §4.2). This CLI is that thin engine:
 
     python -m repro ask sports_holdings "How many organisations are in Canada?"
     python -m repro ask sports_holdings "..." --trace --plan
+    python -m repro ask sports_holdings "..." --trace-out run.jsonl
+    python -m repro trace run.jsonl [--slow 5]     # inspect an exported run
     python -m repro lint "SELECT ..." --db sports_holdings  # SQL diagnostics
     python -m repro solve sports_holdings          # interactive feedback REPL
     python -m repro knowledge sports_holdings      # knowledge-set overview
-    python -m repro bench table1                   # experiment harness
+    python -m repro bench table1 [--metrics] [--trace-out run.jsonl]
 
 Databases are the six benchmark profiles; their knowledge sets are mined
 on first use from the benchmark's training logs and documents.
@@ -17,6 +19,7 @@ on first use from the benchmark's training logs and documents.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .bench.bird import build_knowledge_sets, build_workload
@@ -78,6 +81,19 @@ def cmd_ask(args, out=sys.stdout):
 
         print("-- logical plan --", file=out)
         print(explain(result.sql), file=out)
+    if getattr(args, "trace_out", None):
+        from .obs import global_snapshot, write_trace
+
+        count = write_trace(
+            args.trace_out,
+            result.trace_records(),
+            metrics=global_snapshot(),
+            meta={"question": args.question, "database": args.database},
+        )
+        print(
+            f"wrote {count} span(s) + metrics snapshot to {args.trace_out}",
+            file=out,
+        )
     return 0 if result.success else 1
 
 
@@ -206,6 +222,30 @@ def cmd_lint(args, out=sys.stdout):
     return 1 if errors else 0
 
 
+def cmd_trace(args, out=sys.stdout):
+    """Render an exported trace file as a span tree with rollups."""
+    from .obs import load_trace, render_trace_payload
+
+    try:
+        payload = load_trace(args.path)
+    except OSError as error:
+        print(f"error: cannot read {args.path}: {error}", file=out)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    if not payload["spans"]:
+        print(f"{args.path}: no span records", file=out)
+        return 1
+    print(
+        render_trace_payload(
+            payload, slow_ms=args.slow, show_metrics=not args.no_metrics
+        ),
+        file=out,
+    )
+    return 0
+
+
 def cmd_bench(args, out=sys.stdout):
     from .bench.harness import main as harness_main
 
@@ -214,6 +254,10 @@ def cmd_bench(args, out=sys.stdout):
         argv.append("--profile")
     if args.json:
         argv.append("--json")
+    if args.metrics:
+        argv.append("--metrics")
+    if args.trace_out:
+        argv.extend(["--trace-out", args.trace_out])
     return harness_main(argv)
 
 
@@ -234,7 +278,26 @@ def build_arg_parser():
                      help="print the CoT plan")
     ask.add_argument("--explain", action="store_true",
                      help="print the engine's logical plan for the SQL")
+    ask.add_argument(
+        "--trace-out", dest="trace_out", metavar="PATH", default=None,
+        help="export the run's spans + metrics snapshot as JSONL "
+             "(inspect with 'repro trace PATH')",
+    )
     ask.set_defaults(func=cmd_ask)
+
+    trace = commands.add_parser(
+        "trace", help="inspect an exported trace (span tree + rollups)"
+    )
+    trace.add_argument("path", help="JSONL trace written by --trace-out")
+    trace.add_argument(
+        "--slow", type=float, default=None, metavar="N",
+        help="only show spans taking at least N ms (ancestors kept)",
+    )
+    trace.add_argument(
+        "--no-metrics", action="store_true",
+        help="omit the metrics snapshot section",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     knowledge = commands.add_parser(
         "knowledge", help="show a database's knowledge set"
@@ -273,6 +336,14 @@ def build_arg_parser():
         "--json", action="store_true",
         help="emit the profile payload as JSON (with profile/--profile)",
     )
+    bench.add_argument(
+        "--metrics", action="store_true",
+        help="print the process-wide metrics registry snapshot at the end",
+    )
+    bench.add_argument(
+        "--trace-out", dest="trace_out", metavar="PATH", default=None,
+        help="export every question's spans + a metrics snapshot as JSONL",
+    )
     bench.set_defaults(func=cmd_bench)
     return parser
 
@@ -280,7 +351,13 @@ def build_arg_parser():
 def main(argv=None):
     parser = build_arg_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/grep closed the pipe (e.g. `repro trace | head`).
+        # Point stdout at devnull so interpreter shutdown doesn't complain.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..bench.metrics import execution_match
+from ..obs.metrics import get_metrics
+from ..obs.tracing import Tracer
 from ..pipeline.pipeline import GenEditPipeline
 from ..sql.diagnostics import DiagnosticsEngine
 
@@ -88,29 +90,51 @@ class RegressionReport:
 
 
 def run_regression(database, live_knowledge, staged_knowledge,
-                   golden_queries, config=None):
-    """Compare golden-query accuracy before/after the staged edits."""
+                   golden_queries, config=None, tracer=None):
+    """Compare golden-query accuracy before/after the staged edits.
+
+    The run is traced: a ``regression`` root span with one
+    ``regression.golden`` child per golden query (annotated with
+    regressed/improved and any new lint codes) lands on ``tracer`` — the
+    feedback solver passes its session tracer; standalone calls get a
+    private one.
+    """
     before = GenEditPipeline(database, live_knowledge, config=config)
     after = GenEditPipeline(database, staged_knowledge, config=config)
     engine = DiagnosticsEngine(database)
     report = RegressionReport()
-    for golden in golden_queries:
-        result_before = before.generate(golden.question)
-        result_after = after.generate(golden.question)
-        codes_before = _error_codes(engine, result_before.sql)
-        codes_after = _error_codes(engine, result_after.sql)
-        report.results.append(
-            RegressionResult(
-                question=golden.question,
-                correct_before=execution_match(
-                    database, result_before.sql, golden.gold_sql
-                ),
-                correct_after=execution_match(
-                    database, result_after.sql, golden.gold_sql
-                ),
-                new_error_codes=tuple(sorted(codes_after - codes_before)),
-            )
-        )
+    tracer = tracer or Tracer()
+    with tracer.span("regression", golden=len(golden_queries)) as root:
+        for golden in golden_queries:
+            with tracer.span(
+                "regression.golden", question=golden.question
+            ) as span:
+                result_before = before.generate(golden.question)
+                result_after = after.generate(golden.question)
+                codes_before = _error_codes(engine, result_before.sql)
+                codes_after = _error_codes(engine, result_after.sql)
+                result = RegressionResult(
+                    question=golden.question,
+                    correct_before=execution_match(
+                        database, result_before.sql, golden.gold_sql
+                    ),
+                    correct_after=execution_match(
+                        database, result_after.sql, golden.gold_sql
+                    ),
+                    new_error_codes=tuple(sorted(codes_after - codes_before)),
+                )
+                span.set_attr("regressed", result.regressed)
+                span.set_attr("improved", result.improved)
+                if result.new_error_codes:
+                    span.set_attr(
+                        "new_error_codes", " ".join(result.new_error_codes)
+                    )
+                report.results.append(result)
+        root.set_attr("passed", report.passed)
+    metrics = get_metrics()
+    metrics.inc("regression.runs")
+    metrics.inc("regression.regressions", len(report.regressions))
+    metrics.inc("regression.improvements", len(report.improvements))
     return report
 
 

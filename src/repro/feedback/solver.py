@@ -9,6 +9,8 @@ approval queue.
 
 from __future__ import annotations
 
+from ..obs.metrics import get_metrics
+from ..obs.tracing import Tracer
 from ..pipeline.pipeline import GenEditPipeline
 from .edit_generation import generate_edits
 from .edit_planning import plan_edits
@@ -31,11 +33,14 @@ class FeedbackSolver:
     """One SME session over a deployed pipeline."""
 
     def __init__(self, pipeline: GenEditPipeline, golden_queries=(),
-                 approval_queue=None, author="sme"):
+                 approval_queue=None, author="sme", tracer=None):
         self.pipeline = pipeline
         self.golden_queries = list(golden_queries)
         self.approval_queue = approval_queue
         self.author = author
+        #: Session-level tracer: the four recommendation operators and the
+        #: submission's regression run record timed spans here.
+        self.tracer = tracer or Tracer()
         self.question = ""
         self.result = None
         self.feedback = None
@@ -70,15 +75,35 @@ class FeedbackSolver:
             author=self.author,
         )
         knowledge = self.pipeline.knowledge
-        targets = generate_targets(self.feedback, self.result.context, knowledge)
-        expanded = expand_feedback(self.feedback, self.result, targets)
-        steps, directives = plan_edits(self.feedback, expanded, knowledge)
-        self.last_targets = targets
-        self.last_expansion = expanded
-        self.last_plan = steps
-        intent_ids = tuple(self.result.context.intent_ids)
-        self.recommendations = generate_edits(
-            self.feedback, directives, knowledge, intent_ids=intent_ids
+        with self.tracer.span(
+            "feedback.recommend",
+            feedback_id=self.feedback.feedback_id,
+            iteration=self._iterations,
+        ) as recommend:
+            with self.tracer.span("feedback.targets") as span:
+                targets = generate_targets(
+                    self.feedback, self.result.context, knowledge
+                )
+                span.set_attr("targets", len(targets))
+            with self.tracer.span("feedback.expand"):
+                expanded = expand_feedback(self.feedback, self.result, targets)
+            with self.tracer.span("feedback.plan") as span:
+                steps, directives = plan_edits(
+                    self.feedback, expanded, knowledge
+                )
+                span.set_attr("steps", len(steps))
+            self.last_targets = targets
+            self.last_expansion = expanded
+            self.last_plan = steps
+            intent_ids = tuple(self.result.context.intent_ids)
+            with self.tracer.span("feedback.generate_edits") as span:
+                self.recommendations = generate_edits(
+                    self.feedback, directives, knowledge, intent_ids=intent_ids
+                )
+                span.set_attr("edits", len(self.recommendations))
+            recommend.set_attr("recommended", len(self.recommendations))
+        get_metrics().inc(
+            "feedback.recommendations", len(self.recommendations)
         )
         return self.recommendations
 
@@ -144,6 +169,7 @@ class FeedbackSolver:
             staged_knowledge,
             self.golden_queries,
             config=self.pipeline.config,
+            tracer=self.tracer,
         )
         submission = Submission(
             feedback=self.feedback,

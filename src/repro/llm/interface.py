@@ -15,6 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.metrics import get_metrics
+from ..obs.tracing import current_span
+
 
 def count_tokens(text):
     """Approximate token count (≈ 4 characters/token, the usual rule)."""
@@ -47,6 +50,21 @@ GPT_4O_MINI = ModelSpec("gpt-4o-mini", context_tokens=6000,
                         latency_ms_per_call=700.0)
 
 MODELS = {spec.name: spec for spec in (GPT_4O, GPT_4O_MINI)}
+
+
+def normalize_model_name(model):
+    """The canonical name of ``model`` for metering, spans, and metrics.
+
+    Accepts a :class:`ModelSpec`, anything exposing a string ``.name``
+    (duck-typed specs in tests), or a plain string — one place to decide,
+    so :class:`CallMeter` records and span attributes always agree.
+    """
+    if isinstance(model, ModelSpec):
+        return model.name
+    name = getattr(model, "name", None)
+    if isinstance(name, str):
+        return name
+    return str(model)
 
 
 @dataclass
@@ -144,7 +162,7 @@ class CallMeter:
     def record(self, operator, model, prompt, output_text, truncated=None):
         call = LlmCall(
             operator=operator,
-            model=model.name if isinstance(model, ModelSpec) else str(model),
+            model=normalize_model_name(model),
             input_tokens=(
                 prompt.token_count if isinstance(prompt, Prompt)
                 else count_tokens(str(prompt))
@@ -153,6 +171,21 @@ class CallMeter:
             truncated=dict(truncated or {}),
         )
         self.calls.append(call)
+        # Annotate the enclosing span (the operator's, during a pipeline
+        # run) and the process-wide registry with token/cost accounting.
+        span = current_span()
+        if span is not None:
+            span.inc_attr("llm.calls", 1)
+            span.inc_attr("llm.input_tokens", call.input_tokens)
+            span.inc_attr("llm.output_tokens", call.output_tokens)
+            span.inc_attr("llm.cost_usd", call.cost_usd)
+            span.set_attr("llm.model", call.model)
+        metrics = get_metrics()
+        metrics.inc("llm.calls", 1, operator=operator, model=call.model)
+        metrics.inc("llm.input_tokens", call.input_tokens, operator=operator)
+        metrics.inc("llm.output_tokens", call.output_tokens,
+                    operator=operator)
+        metrics.inc("llm.cost_usd", call.cost_usd, operator=operator)
         return call
 
     @property

@@ -1,0 +1,64 @@
+"""``repro.obs``: dependency-free tracing and metrics.
+
+The observability layer the ROADMAP's production north-star needs before
+any further performance work can be trusted:
+
+* :mod:`repro.obs.tracing` — hierarchical timed spans with thread-local
+  nesting, span events (the successor of the pipeline's ``TraceEvent``),
+  and a stable JSONL record schema;
+* :mod:`repro.obs.metrics` — a process-wide, thread-safe registry of
+  counters, gauges, and bounded-memory histograms (p50/p90/p99 over fixed
+  buckets);
+* :mod:`repro.obs.render` — JSONL trace export/import and the span-tree /
+  rollup renderer behind ``python -m repro trace``.
+
+Nothing in this package imports the rest of the repo (one lazily-imported
+cache accessor aside), so any module — parser, engine, pipeline, harness —
+can instrument itself without import cycles.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS_MS,
+    METRICS,
+    METRICS_SCHEMA_VERSION,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    global_snapshot,
+)
+from .render import (
+    build_forest,
+    load_trace,
+    render_metrics_snapshot,
+    render_span_tree,
+    render_trace_payload,
+    write_trace,
+)
+from .tracing import (
+    TRACE_SCHEMA_VERSION,
+    Span,
+    SpanEvent,
+    Tracer,
+    current_span,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS_MS",
+    "METRICS",
+    "METRICS_SCHEMA_VERSION",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanEvent",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "build_forest",
+    "current_span",
+    "get_metrics",
+    "global_snapshot",
+    "load_trace",
+    "render_metrics_snapshot",
+    "render_span_tree",
+    "render_trace_payload",
+    "write_trace",
+]

@@ -1,0 +1,268 @@
+"""Trace JSONL export/import and the span-tree renderer.
+
+One trace file is a sequence of JSON records, one per line:
+
+* a ``{"type": "meta", ...}`` header (schema version, generator);
+* one ``{"type": "span", ...}`` record per finished span
+  (:meth:`repro.obs.tracing.Span.to_record`);
+* optionally a final ``{"type": "metrics", "snapshot": {...}}`` record —
+  the process-wide registry at export time.
+
+:func:`render_trace_payload` is the engine behind ``python -m repro
+trace``: it reassembles the span forest from ``parent_id`` links (spans
+whose parent is not in the file — e.g. a cross-tracer parent — render as
+roots), draws an indented tree with durations and compacted attributes,
+then prints per-operator rollups (count, wall time, LLM tokens/cost) and
+the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracing import TRACE_SCHEMA_VERSION
+
+#: Attributes too long to inline in the tree are truncated to this length.
+_ATTR_VALUE_LIMIT = 60
+
+
+def write_trace(path, records, metrics=None, meta=None):
+    """Write span ``records`` (+ optional metrics snapshot) as JSONL."""
+    header = {
+        "type": "meta",
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "generator": "repro.obs",
+    }
+    header.update(meta or {})
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True, default=str) + "\n")
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True, default=str))
+            handle.write("\n")
+        if metrics is not None:
+            handle.write(json.dumps(
+                {"type": "metrics", "snapshot": metrics},
+                sort_keys=True, default=str,
+            ) + "\n")
+    return len(records)
+
+
+def load_trace(path):
+    """Parse a trace file into ``{"meta", "spans", "metrics"}``.
+
+    Unknown record types are ignored (forward compatibility); malformed
+    lines raise ``ValueError`` with the offending line number.
+    """
+    meta = {}
+    spans = []
+    metrics = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON ({error})"
+                ) from None
+            kind = record.get("type")
+            if kind == "meta":
+                meta = record
+            elif kind == "span":
+                spans.append(record)
+            elif kind == "metrics":
+                metrics = record.get("snapshot")
+    return {"meta": meta, "spans": spans, "metrics": metrics}
+
+
+# -- tree assembly ------------------------------------------------------
+
+
+def build_forest(spans):
+    """Group span records into (roots, children-by-id), start-ordered."""
+    by_id = {span["span_id"]: span for span in spans}
+    children = {}
+    roots = []
+    ordered = sorted(
+        spans, key=lambda span: (span.get("start_ms", 0.0), span["span_id"])
+    )
+    for span in ordered:
+        parent_id = span.get("parent_id")
+        if parent_id and parent_id in by_id:
+            children.setdefault(parent_id, []).append(span)
+        else:
+            roots.append(span)
+    return roots, children
+
+
+def _format_attr(key, value):
+    text = str(value)
+    if len(text) > _ATTR_VALUE_LIMIT:
+        text = text[: _ATTR_VALUE_LIMIT - 1] + "…"
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    return f"{key}={text!r}" if isinstance(value, str) else f"{key}={text}"
+
+
+def _span_line(span, depth):
+    indent = "  " * depth
+    duration = span.get("duration_ms", 0.0)
+    parts = [f"{indent}{span['name']}", f"{duration:.2f}ms"]
+    if span.get("status", "ok") != "ok":
+        parts.append(f"!{span['status']}")
+    attributes = span.get("attributes") or {}
+    parts.extend(
+        _format_attr(key, value) for key, value in sorted(attributes.items())
+    )
+    if span.get("error"):
+        parts.append(f"error={span['error']!r}")
+    return "  ".join(parts)
+
+
+def _keep_set(spans, children, slow_ms):
+    """Spans at/over the ``--slow`` threshold, plus all their ancestors."""
+    parents = {
+        child["span_id"]: parent_id
+        for parent_id, kids in children.items() for child in kids
+    }
+    by_id = {span["span_id"]: span for span in spans}
+    keep = set()
+    for span in spans:
+        if span.get("duration_ms", 0.0) >= slow_ms:
+            span_id = span["span_id"]
+            while span_id and span_id not in keep:
+                keep.add(span_id)
+                span_id = parents.get(span_id)
+    return keep, by_id
+
+
+def render_span_tree(spans, slow_ms=None):
+    """The indented span tree as a string (empty string for no spans)."""
+    if not spans:
+        return ""
+    roots, children = build_forest(spans)
+    keep = None
+    if slow_ms is not None:
+        keep, _by_id = _keep_set(spans, children, slow_ms)
+    lines = []
+
+    def walk(span, depth):
+        if keep is not None and span["span_id"] not in keep:
+            return
+        lines.append(_span_line(span, depth))
+        for child in children.get(span["span_id"], ()):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+# -- rollups ------------------------------------------------------------
+
+
+def rollup_by_name(spans):
+    """Aggregate spans by name: count, wall time, LLM tokens and cost."""
+    rollup = {}
+    for span in spans:
+        entry = rollup.setdefault(span["name"], {
+            "count": 0, "total_ms": 0.0, "errors": 0,
+            "llm_calls": 0, "input_tokens": 0, "output_tokens": 0,
+            "cost_usd": 0.0,
+        })
+        entry["count"] += 1
+        entry["total_ms"] += span.get("duration_ms", 0.0)
+        if span.get("status", "ok") != "ok":
+            entry["errors"] += 1
+        attributes = span.get("attributes") or {}
+        entry["llm_calls"] += attributes.get("llm.calls", 0)
+        entry["input_tokens"] += attributes.get("llm.input_tokens", 0)
+        entry["output_tokens"] += attributes.get("llm.output_tokens", 0)
+        entry["cost_usd"] += attributes.get("llm.cost_usd", 0.0)
+    return rollup
+
+
+def _simple_table(title, headers, rows):
+    widths = [len(header) for header in headers]
+    rendered = []
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        rendered.append(cells)
+        widths = [max(width, len(cell)) for width, cell in zip(widths, cells)]
+    lines = [title]
+    lines.append("  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    ))
+    for cells in rendered:
+        lines.append("  ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ))
+    return "\n".join(lines)
+
+
+def render_rollups(spans):
+    rollup = rollup_by_name(spans)
+    if not rollup:
+        return ""
+    rows = []
+    for name in sorted(rollup, key=lambda key: -rollup[key]["total_ms"]):
+        entry = rollup[name]
+        rows.append((
+            name,
+            entry["count"],
+            f"{entry['total_ms']:.2f}",
+            entry["llm_calls"],
+            entry["input_tokens"],
+            entry["output_tokens"],
+            f"{entry['cost_usd']:.5f}",
+            entry["errors"],
+        ))
+    return _simple_table(
+        "-- per-operator rollup --",
+        ["span", "count", "total_ms", "llm_calls", "in_tok", "out_tok",
+         "cost_usd", "errors"],
+        rows,
+    )
+
+
+def render_metrics_snapshot(snapshot):
+    """Human-readable rendering of a registry snapshot."""
+    lines = [
+        f"-- metrics snapshot (schema v{snapshot.get('schema_version')}) --"
+    ]
+    for kind in ("counters", "gauges"):
+        for key, value in (snapshot.get(kind) or {}).items():
+            lines.append(f"{kind[:-1]}  {key} = {value}")
+    for key, entry in (snapshot.get("histograms") or {}).items():
+        lines.append(
+            f"histogram  {key}: count={entry['count']} sum={entry['sum']} "
+            f"p50={entry['p50']} p90={entry['p90']} p99={entry['p99']}"
+        )
+    return "\n".join(lines)
+
+
+def render_trace_payload(payload, slow_ms=None, show_metrics=True):
+    """Full ``repro trace`` output for a loaded trace payload."""
+    spans = payload["spans"]
+    meta = payload.get("meta") or {}
+    roots = sum(
+        1 for span in spans
+        if not span.get("parent_id")
+        or span["parent_id"] not in {s["span_id"] for s in spans}
+    )
+    sections = [
+        f"trace: {len(spans)} span(s), {roots} run(s), "
+        f"schema v{meta.get('schema_version', '?')}"
+        + (f", slow>={slow_ms:g}ms" if slow_ms is not None else "")
+    ]
+    tree = render_span_tree(spans, slow_ms=slow_ms)
+    if tree:
+        sections.append(tree)
+    rollup = render_rollups(spans)
+    if rollup:
+        sections.append(rollup)
+    if show_metrics and payload.get("metrics"):
+        sections.append(render_metrics_snapshot(payload["metrics"]))
+    return "\n\n".join(sections)

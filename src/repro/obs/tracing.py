@@ -1,0 +1,221 @@
+"""Hierarchical timed spans: the tracing half of :mod:`repro.obs`.
+
+A :class:`Tracer` produces :class:`Span` records through the
+:meth:`Tracer.span` context manager. Spans nest: each thread carries an
+ambient stack (module-level, shared by every tracer), so a span opened
+while another is active becomes its child — including across tracers,
+which is how a feedback-solver span ends up the parent of a pipeline run's
+root. The parallel harness path gets correct nesting for free because the
+stack is thread-local: two worker threads never see each other's spans.
+
+Spans are timed with :func:`time.perf_counter` (monotonic), carry free-form
+``attributes``, an ``ok``/``error`` status (exceptions annotate the span
+and re-raise), and a list of :class:`SpanEvent` records — the successor of
+the pipeline's untimed ``TraceEvent``, which is now a back-compat alias of
+:class:`SpanEvent` (same fields, same ``str()`` rendering, so existing
+examples keep printing).
+
+Serialization is JSONL-friendly: :meth:`Span.to_record` emits one stable,
+versioned dict per span (see :data:`TRACE_SCHEMA_VERSION` and DESIGN.md's
+schema subsection).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Version of the exported span/metrics record schema. Bump when a field is
+#: renamed or its meaning changes; additions are backwards-compatible.
+TRACE_SCHEMA_VERSION = 1
+
+#: Process-wide span-id source. ``itertools.count`` is a C-level iterator,
+#: so ``next()`` is atomic under the GIL — ids are unique across threads
+#: and across tracers, which lets one JSONL file hold many runs.
+_SPAN_IDS = itertools.count(1)
+
+_AMBIENT = threading.local()
+
+
+def _stack():
+    stack = getattr(_AMBIENT, "stack", None)
+    if stack is None:
+        stack = _AMBIENT.stack = []
+    return stack
+
+
+def current_span():
+    """The innermost active span on *this* thread (or None).
+
+    This is how low-level code (e.g. :meth:`CallMeter.record
+    <repro.llm.interface.CallMeter.record>`) annotates the enclosing span
+    without any tracer plumbing.
+    """
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation on a span.
+
+    Field names (``operator``/``summary``/``detail``) and the ``str()``
+    form are inherited from the pipeline's original ``TraceEvent`` so that
+    every existing trace consumer keeps working unchanged.
+    """
+
+    operator: str
+    summary: str
+    detail: dict = field(default_factory=dict)
+    seq: int = 0
+
+    def __str__(self):
+        return f"[{self.operator}] {self.summary}"
+
+    def to_record(self):
+        record = {"operator": self.operator, "summary": self.summary}
+        if self.detail:
+            record["detail"] = {
+                key: value for key, value in self.detail.items()
+            }
+        return record
+
+
+@dataclass
+class Span:
+    """One timed, attributed unit of work."""
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    start_ms: float             # offset from the tracer's epoch
+    duration_ms: float = 0.0
+    attributes: dict = field(default_factory=dict)
+    status: str = "ok"
+    error: str = ""
+    events: list = field(default_factory=list)
+
+    def set_attr(self, key, value):
+        self.attributes[key] = value
+
+    def inc_attr(self, key, value):
+        """Accumulate a numeric attribute (e.g. tokens over several calls)."""
+        self.attributes[key] = self.attributes.get(key, 0) + value
+
+    def add_event(self, event):
+        self.events.append(event)
+        return event
+
+    def to_record(self):
+        record = {
+            "type": "span",
+            "v": TRACE_SCHEMA_VERSION,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ms": round(self.start_ms, 3),
+            "duration_ms": round(self.duration_ms, 3),
+            "status": self.status,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.error:
+            record["error"] = self.error
+        if self.events:
+            record["events"] = [event.to_record() for event in self.events]
+        return record
+
+
+class Tracer:
+    """Collects the spans of one logical run (a pipeline call, a harness
+    experiment, a feedback session).
+
+    Thread-safe: spans may be opened and finished on any number of threads;
+    the finished-record list is guarded by a lock and nesting is resolved
+    through the per-thread ambient stack.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._finished = []
+        self._all = []              # every span ever started (for events)
+        self._epoch = time.perf_counter()
+        self._event_seq = itertools.count(1)
+        self.orphan_events = []     # events recorded with no active span
+
+    @contextmanager
+    def span(self, name, **attributes):
+        """Open a child span of the thread's current span."""
+        stack = _stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name=name,
+            span_id=f"s{next(_SPAN_IDS):06d}",
+            parent_id=parent.span_id if parent is not None else None,
+            start_ms=(time.perf_counter() - self._epoch) * 1000.0,
+            attributes=dict(attributes),
+        )
+        with self._lock:
+            self._all.append(span)
+        stack.append(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        except BaseException as error:
+            span.status = "error"
+            span.error = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            span.duration_ms = (time.perf_counter() - started) * 1000.0
+            stack.pop()
+            with self._lock:
+                self._finished.append(span)
+
+    # -- events ----------------------------------------------------------
+
+    def add_event(self, operator, summary, detail=None):
+        """Attach a :class:`SpanEvent` to the thread's current span.
+
+        With no active span the event is kept on :attr:`orphan_events` so
+        nothing is lost (operators are unit-tested outside any pipeline
+        run). Returns the event.
+        """
+        event = SpanEvent(
+            operator=operator,
+            summary=summary,
+            detail=dict(detail or {}),
+            seq=next(self._event_seq),
+        )
+        target = current_span()
+        if target is not None:
+            target.add_event(event)
+        else:
+            with self._lock:
+                self.orphan_events.append(event)
+        return event
+
+    def iter_events(self):
+        """Every event of this tracer's spans, in recording order."""
+        with self._lock:
+            spans = list(self._all)
+            events = list(self.orphan_events)
+        for span in spans:
+            events.extend(span.events)
+        events.sort(key=lambda event: event.seq)
+        return events
+
+    # -- export ----------------------------------------------------------
+
+    def finished_spans(self):
+        """Finished spans sorted by start time (ties by id)."""
+        with self._lock:
+            spans = list(self._finished)
+        spans.sort(key=lambda span: (span.start_ms, span.span_id))
+        return spans
+
+    def to_records(self):
+        """One JSON-ready dict per finished span, in start order."""
+        return [span.to_record() for span in self.finished_spans()]

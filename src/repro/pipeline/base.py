@@ -3,9 +3,15 @@
 A :class:`GenEditPipeline` run threads a :class:`PipelineContext` through a
 sequence of :class:`Operator` instances (Fig. 1's numbered boxes). Each
 operator reads what earlier operators produced — that compounding is the
-paper's core retrieval idea — and appends a :class:`TraceEvent` so runs are
-fully inspectable (the examples print these traces to show the
-architecture).
+paper's core retrieval idea — and annotates the run so it is fully
+inspectable: every operator executes inside a timed
+:class:`~repro.obs.tracing.Span` on the context's
+:class:`~repro.obs.tracing.Tracer`, and the legacy ``add_trace`` events
+attach to the enclosing span (the examples print these traces to show the
+architecture; ``python -m repro trace`` renders the timed tree).
+
+:class:`TraceEvent` is kept as a back-compat alias of
+:class:`~repro.obs.tracing.SpanEvent` — same fields, same ``str()`` form.
 """
 
 from __future__ import annotations
@@ -13,18 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..llm.interface import CallMeter
+from ..obs.tracing import SpanEvent, Tracer
 
-
-@dataclass
-class TraceEvent:
-    """One operator's visible effect during a run."""
-
-    operator: str
-    summary: str
-    detail: dict = field(default_factory=dict)
-
-    def __str__(self):
-        return f"[{self.operator}] {self.summary}"
+#: Back-compat alias: the untimed per-operator trace record is now a span
+#: event. Existing ``TraceEvent(operator=..., summary=..., detail=...)``
+#: construction and ``str(event)`` rendering are unchanged.
+TraceEvent = SpanEvent
 
 
 @dataclass
@@ -88,14 +88,29 @@ class PipelineContext:
     execution_caught: int = 0   # candidates rejected by actually executing
     trace: list = field(default_factory=list)
     meter: CallMeter = field(default_factory=CallMeter)
+    tracer: Tracer = field(default_factory=Tracer)
 
     def add_trace(self, operator, summary, **detail):
-        event = TraceEvent(operator=operator, summary=summary, detail=detail)
+        event = self.tracer.add_event(operator, summary, detail)
         self.trace.append(event)
         return event
 
+    def span(self, name, **attributes):
+        """Open a timed span on this run's tracer (context manager)."""
+        return self.tracer.span(name, **attributes)
+
     def render_trace(self):
-        return "\n".join(str(event) for event in self.trace)
+        """Render the run's events, sourced from the span tree.
+
+        Events recorded outside this context's tracer (possible only when
+        an operator is driven standalone under a foreign ambient span) fall
+        back to the flat list; either way the rendered text matches the
+        pre-span output line for line.
+        """
+        events = self.tracer.iter_events()
+        if len(events) < len(self.trace):
+            events = self.trace
+        return "\n".join(str(event) for event in events)
 
 
 class Operator:
@@ -127,3 +142,12 @@ class GenerationResult:
     @property
     def latency_ms(self):
         return self.context.meter.total_latency_ms
+
+    def trace_records(self):
+        """One JSON-ready dict per finished span of this run (start order).
+
+        The record schema is versioned (``v`` field, see
+        :data:`repro.obs.tracing.TRACE_SCHEMA_VERSION`); write one record
+        per line for the ``python -m repro trace`` inspector.
+        """
+        return self.context.tracer.to_records()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ..engine.errors import ExecutionError
 from ..engine.executor import Executor
+from ..obs.metrics import get_metrics
 from ..sql.diagnostics import DiagnosticsEngine
 from ..sql.errors import SqlError
 from .base import Operator
@@ -27,6 +28,7 @@ class SelfCorrectionOperator(Operator):
         config = context.config
         executor = Executor(context.database)
         engine = DiagnosticsEngine(context.database)
+        metrics = get_metrics()
         attempts = []
         queue = [context.sql] + [
             sql for sql in context.candidates if sql != context.sql
@@ -38,43 +40,54 @@ class SelfCorrectionOperator(Operator):
             if tried > config.max_retries:
                 break
             tried += 1
-            diagnostics = context.candidate_diagnostics.get(sql)
-            if diagnostics is None:
-                diagnostics = engine.run_sql(sql)
-                context.candidate_diagnostics[sql] = diagnostics
-            errors = [diag for diag in diagnostics if diag.is_error]
-            if errors:
-                # The engine would reject this candidate too — skip the
-                # execution and regenerate from the lint findings.
-                context.lint_caught += 1
-                summary = "; ".join(diag.render() for diag in errors[:3])
-                attempts.append((sql, f"lint: {summary}"))
-                context.add_trace(
-                    self.name,
-                    f"attempt {tried} lint-rejected: {summary}",
-                )
-                findings = "\n".join(diag.render() for diag in errors)
-                context.meter.record(
-                    "self_correct", "gpt-4o",
-                    f"Diagnostics:\n{findings}\nRegenerate the SQL.", sql,
-                )
-                continue
-            try:
-                executor.execute(sql)
-            except (SqlError, ExecutionError) as error:
-                context.execution_caught += 1
-                attempts.append((sql, str(error)))
-                context.add_trace(
-                    self.name,
-                    f"attempt {tried} failed: {error}",
-                )
-                # The regeneration prompt would carry the error text; the
-                # next grounding candidate plays that corrected role.
-                context.meter.record(
-                    "self_correct", "gpt-4o",
-                    f"Error: {error}\nRegenerate the SQL.", sql,
-                )
-                continue
+            with context.span("attempt", index=tried) as attempt:
+                diagnostics = context.candidate_diagnostics.get(sql)
+                if diagnostics is None:
+                    diagnostics = engine.run_sql(sql)
+                    context.candidate_diagnostics[sql] = diagnostics
+                errors = [diag for diag in diagnostics if diag.is_error]
+                if errors:
+                    # The engine would reject this candidate too — skip the
+                    # execution and regenerate from the lint findings.
+                    context.lint_caught += 1
+                    metrics.inc("self_correct.lint_caught")
+                    attempt.set_attr("outcome", "lint_caught")
+                    attempt.set_attr(
+                        "codes", " ".join(diag.code for diag in errors)
+                    )
+                    summary = "; ".join(diag.render() for diag in errors[:3])
+                    attempts.append((sql, f"lint: {summary}"))
+                    context.add_trace(
+                        self.name,
+                        f"attempt {tried} lint-rejected: {summary}",
+                    )
+                    findings = "\n".join(diag.render() for diag in errors)
+                    context.meter.record(
+                        "self_correct", "gpt-4o",
+                        f"Diagnostics:\n{findings}\nRegenerate the SQL.", sql,
+                    )
+                    continue
+                try:
+                    with context.span("execute"):
+                        executor.execute(sql)
+                except (SqlError, ExecutionError) as error:
+                    context.execution_caught += 1
+                    metrics.inc("self_correct.execution_caught")
+                    attempt.set_attr("outcome", "execution_caught")
+                    attempts.append((sql, str(error)))
+                    context.add_trace(
+                        self.name,
+                        f"attempt {tried} failed: {error}",
+                    )
+                    # The regeneration prompt would carry the error text; the
+                    # next grounding candidate plays that corrected role.
+                    context.meter.record(
+                        "self_correct", "gpt-4o",
+                        f"Error: {error}\nRegenerate the SQL.", sql,
+                    )
+                    continue
+                attempt.set_attr("outcome", "ok")
+            metrics.inc("self_correct.clean")
             context.sql = sql
             context.attempts = attempts
             context.add_trace(

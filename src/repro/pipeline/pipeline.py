@@ -10,6 +10,7 @@ from __future__ import annotations
 from ..engine.errors import ExecutionError
 from ..engine.executor import Executor
 from ..llm.simulated import SimulatedLLM
+from ..obs.metrics import get_metrics
 from ..sql.errors import SqlError
 from .base import GenerationResult, PipelineContext
 from .config import DEFAULT_CONFIG
@@ -43,16 +44,43 @@ class GenEditPipeline:
         ]
 
     def generate(self, question, config=None):
-        """Generate SQL for ``question`` and return a GenerationResult."""
+        """Generate SQL for ``question`` and return a GenerationResult.
+
+        The whole run executes under a root ``generate`` span on the
+        context's tracer, with one child span per operator and a
+        ``final_check`` span around the closing execution — export the tree
+        with :meth:`GenerationResult.trace_records`. Per-operator wall time
+        feeds the process-wide metrics registry.
+        """
         context = PipelineContext(
             question=question,
             database=self.database,
             knowledge=self.knowledge,
             config=config or self.config,
         )
-        for operator in self.operators:
-            operator.run(context)
-        success, error = self._final_check(context)
+        metrics = get_metrics()
+        with context.span(
+            "generate",
+            question=question,
+            database=getattr(self.database, "name", str(self.database)),
+        ) as root:
+            for operator in self.operators:
+                with context.span(operator.name) as span:
+                    operator.run(context)
+                metrics.observe(
+                    "pipeline.operator_ms", span.duration_ms,
+                    operator=operator.name,
+                )
+            with context.span("final_check") as check:
+                success, error = self._final_check(context)
+                check.set_attr("success", success)
+                if error:
+                    check.set_attr("error_text", error)
+            root.set_attr("success", success)
+            root.set_attr("attempts", len(context.attempts))
+            root.inc_attr("llm.cost_usd", context.meter.total_cost_usd)
+        metrics.inc("pipeline.runs")
+        metrics.observe("pipeline.generate_ms", root.duration_ms)
         return GenerationResult(
             question=question,
             sql=context.sql,

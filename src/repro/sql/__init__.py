@@ -10,7 +10,7 @@ from .errors import (
     SqlSyntaxError,
     SqlUnsupportedError,
 )
-from .parser import parse, parse_cached, parse_expression
+from .parser import parse, parse_cache_info, parse_cached, parse_expression
 from .printer import format_sql, to_sql
 from .rewriter import to_cte_form
 from .tokens import Token, TokenType, tokenize
@@ -32,6 +32,7 @@ __all__ = [
     "diagnose",
     "format_sql",
     "parse",
+    "parse_cache_info",
     "parse_cached",
     "parse_expression",
     "to_cte_form",

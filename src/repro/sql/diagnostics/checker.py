@@ -165,13 +165,20 @@ class DiagnosticsEngine:
 
     def run(self, query):
         """Return the list of :class:`Diagnostic` for a parsed query."""
+        from ...obs.metrics import get_metrics  # lazy: keep import cycle-free
+
         out = []
         self._analyze_query(query, _Scope(), {}, out)
+        metrics = get_metrics()
+        for diagnostic in out:
+            metrics.inc("diagnostics.fired", code=diagnostic.code)
         return out
 
     def run_sql(self, sql):
         """Parse and analyze SQL text; parse failures become GE000."""
         from ..parser import parse_cached
+
+        from ...obs.metrics import get_metrics
 
         try:
             query = parse_cached(sql)
@@ -180,8 +187,10 @@ class DiagnosticsEngine:
             if error.line is not None and error.column is not None:
                 span = Span(error.position or 0, error.line, error.column)
                 diagnostic = dataclasses.replace(diagnostic, span=span)
+            get_metrics().inc("diagnostics.fired", code=GE000.code)
             return [diagnostic]
         except SqlError as error:
+            get_metrics().inc("diagnostics.fired", code=GE000.code)
             return [GE000.at(str(error))]
         return self.run(query)
 

@@ -74,6 +74,16 @@ def parse_cached(sql):
     return parse(sql)
 
 
+def parse_cache_info():
+    """Hit/miss stats of the shared AST cache (``lru_cache.cache_info()``).
+
+    The metrics registry snapshots these as gauges (see
+    :func:`repro.obs.metrics.global_snapshot`) rather than counting per
+    call — the LRU already keeps exact numbers without extra locking.
+    """
+    return parse_cached.cache_info()
+
+
 def parse_expression(sql):
     """Parse a standalone expression (used by tests and the decomposer)."""
     parser = _Parser(tokenize(sql))

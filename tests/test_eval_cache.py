@@ -79,6 +79,30 @@ class TestEvaluationCache:
         cache.invalidate(tiny_db)
         assert cache.comparable(tiny_db, sql) == [(1,), (2,), (3,)]
 
+    def test_cache_info_mirrors_lru_cache_shape(self, tiny_db):
+        cache = EvaluationCache()
+        sql = "SELECT A FROM T"
+        cache.comparable(tiny_db, sql)
+        cache.comparable(tiny_db, sql)
+        info = cache.cache_info()
+        assert info.hits == 1 and info.misses == 1
+        assert info.maxsize is None and info.currsize == 1
+
+    def test_hit_miss_counters_feed_metrics_registry(self, tiny_db):
+        from repro.obs import get_metrics
+
+        registry = get_metrics()
+        hits_before = registry.counter_value("eval_cache.hits")
+        misses_before = registry.counter_value("eval_cache.misses")
+        cache = EvaluationCache()
+        sql = "SELECT B FROM T"
+        cache.comparable(tiny_db, sql)
+        cache.comparable(tiny_db, sql)
+        assert registry.counter_value("eval_cache.hits") == hits_before + 1
+        assert (
+            registry.counter_value("eval_cache.misses") == misses_before + 1
+        )
+
 
 class TestExecutionMatchFastPath:
     def test_cached_equals_uncached(self, tiny_db):
@@ -165,6 +189,31 @@ class TestParseCache:
         before = parse_cached(sql)
         to_cte_form(before)  # deep-copies internally; must not mutate input
         assert parse_cached(sql) == parse(sql)
+
+    def test_parse_cache_info_counts_hits(self):
+        from repro.sql import parse_cache_info
+
+        before = parse_cache_info()
+        sql = "SELECT A, B FROM T WHERE B = 'x'"
+        parse_cached(sql)  # may hit or miss depending on suite order
+        parse_cached(sql)  # second call is a guaranteed hit
+        after = parse_cache_info()
+        assert after.hits >= before.hits + 1
+        assert after.currsize >= 1
+
+    def test_global_snapshot_reports_cache_gauges(self, tiny_db):
+        from repro.obs import global_snapshot
+
+        cache = EvaluationCache()
+        sql = "SELECT A FROM T"
+        cache.comparable(tiny_db, sql)
+        cache.comparable(tiny_db, sql)
+        parse_cached(sql)
+        parse_cached(sql)
+        snapshot = global_snapshot(eval_cache=cache)
+        assert snapshot["gauges"]["eval_cache.hits"] == 1
+        assert snapshot["gauges"]["eval_cache.misses"] == 1
+        assert snapshot["gauges"]["parse_cache.hits"] >= 1
 
 
 class TestProfileSnapshot:
