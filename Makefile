@@ -7,13 +7,15 @@
 #   make test     - tier-1 pytest suite
 #   make lint-corpus - diagnostics corpus + CLI smoke only
 #   make trace-smoke - export one traced run, render it, check the root span
+#   make chaos-smoke - run Table 1 under fault injection; every question
+#                   must still produce an outcome and retries must register
 #   make bench    - regenerate the paper tables
 
 PYTHON ?= python
 
-.PHONY: lint compile test lint-corpus trace-smoke bench
+.PHONY: lint compile test lint-corpus trace-smoke chaos-smoke bench
 
-lint: compile test lint-corpus trace-smoke
+lint: compile test lint-corpus trace-smoke chaos-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -32,6 +34,12 @@ trace-smoke:
 		> /tmp/repro-trace-smoke.txt
 	grep -q "^generate " /tmp/repro-trace-smoke.txt
 	grep -q -- "-- metrics snapshot" /tmp/repro-trace-smoke.txt
+
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench table1 --faults 0.2:7 --metrics \
+		> /tmp/repro-chaos-smoke.txt
+	grep -q "GenEdit" /tmp/repro-chaos-smoke.txt
+	grep -q "resilience.retries" /tmp/repro-chaos-smoke.txt
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench all

@@ -19,6 +19,12 @@ metrics-snapshot record as JSONL — in workload order, without touching
 stdout, so the printed tables stay byte-identical — for ``python -m repro
 trace PATH``. ``--metrics`` prints the process-wide registry snapshot
 after the experiment.
+
+Resilience: worker failures become per-question error outcomes instead of
+aborting the experiment, and ``--faults RATE[:SEED]`` injects
+seed-deterministic chaos (transient LLM/executor errors, timeouts,
+garbled outputs) through every pipeline — ``make chaos-smoke`` proves the
+harness completes under a 20% fault rate. See DESIGN.md §6c.
 """
 
 from __future__ import annotations
@@ -45,7 +51,7 @@ PROFILE_SCHEMA_VERSION = 2
 
 def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                     system_name, questions=None, cache=None,
-                    max_workers=None, trace_sink=None):
+                    max_workers=None, trace_sink=None, fault_config=None):
     """Run one system over the workload and return an EvaluationReport.
 
     ``make_pipeline(database, knowledge)`` builds the system under test for
@@ -63,6 +69,16 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
     in workload order regardless of scheduling — with the root span
     annotated with system/question_id/correct. Collection never touches
     generation, so the report is identical with or without it.
+
+    Resilience (DESIGN.md §6c): a worker exception — in
+    ``pipeline.generate``, in the EX check, or while building the pipeline
+    itself — never aborts the experiment. The affected question(s) become
+    incorrect outcomes whose ``error`` field carries the rendered
+    exception, and the run carries on. ``fault_config`` (a
+    :class:`~repro.resilience.FaultConfig`) arms deterministic fault
+    injection on every pipeline that supports ``enable_faults`` — each
+    database group gets an injector scoped by database name, so chaos runs
+    replay identically under any scheduling.
     """
     question_list = list(
         questions if questions is not None else workload.questions
@@ -72,59 +88,111 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
     elif cache is False:
         cache = None
     started = time.perf_counter()
+    metrics = get_metrics()
     report = EvaluationReport(system=system_name)
     groups = {}
     for position, question in enumerate(question_list):
         groups.setdefault(question.database, []).append((position, question))
+
+    def error_outcome(question, error):
+        metrics.inc("harness.question_errors", system=system_name)
+        return QuestionOutcome(
+            question_id=question.question_id,
+            difficulty=question.difficulty,
+            database=question.database,
+            correct=False,
+            predicted_sql="",
+            gold_sql=question.gold_sql,
+            features=question.features,
+            error=f"{type(error).__name__}: {error}",
+        )
+
+    def run_question(pipeline, profile, question):
+        result = pipeline.generate(question.question)
+        correct = execution_match(
+            profile.database, result.sql, question.gold_sql,
+            cache=cache,
+        )
+        if correct:
+            error_text = ""
+        elif not result.success:
+            error_text = result.error or "generation failed"
+        elif not result.sql:
+            error_text = "no SQL generated"
+        else:
+            error_text = "result mismatch"
+        records = None
+        if trace_sink is not None:
+            records = result.trace_records()
+            for record in records:
+                if record.get("parent_id") is None:
+                    attributes = record.setdefault("attributes", {})
+                    attributes["system"] = system_name
+                    attributes["question_id"] = question.question_id
+                    attributes["correct"] = correct
+        return QuestionOutcome(
+            question_id=question.question_id,
+            difficulty=question.difficulty,
+            database=question.database,
+            correct=correct,
+            predicted_sql=result.sql,
+            gold_sql=question.gold_sql,
+            features=question.features,
+            issues=tuple(result.plan.issues) if result.plan else (),
+            cost_usd=result.cost_usd,
+            latency_ms=result.latency_ms,
+            lint_caught=result.context.lint_caught,
+            execution_caught=result.context.execution_caught,
+            error=error_text,
+            degraded=result.degraded_operators
+            if hasattr(result, "degraded_operators") else (),
+        ), records
 
     def run_group(database_name, items):
         profile = profiles[database_name]
         pipeline = make_pipeline(
             profile.database, knowledge_sets[database_name]
         )
+        if (
+            fault_config is not None
+            and fault_config.rate
+            and hasattr(pipeline, "enable_faults")
+        ):
+            pipeline.enable_faults(fault_config, scope=database_name)
         outcomes = []
         for position, question in items:
-            result = pipeline.generate(question.question)
-            correct = execution_match(
-                profile.database, result.sql, question.gold_sql,
-                cache=cache,
-            )
-            records = None
-            if trace_sink is not None:
-                records = result.trace_records()
-                for record in records:
-                    if record.get("parent_id") is None:
-                        attributes = record.setdefault("attributes", {})
-                        attributes["system"] = system_name
-                        attributes["question_id"] = question.question_id
-                        attributes["correct"] = correct
-            outcomes.append((position, QuestionOutcome(
-                question_id=question.question_id,
-                difficulty=question.difficulty,
-                database=question.database,
-                correct=correct,
-                predicted_sql=result.sql,
-                gold_sql=question.gold_sql,
-                features=question.features,
-                issues=tuple(result.plan.issues) if result.plan else (),
-                cost_usd=result.cost_usd,
-                latency_ms=result.latency_ms,
-                lint_caught=result.context.lint_caught,
-                execution_caught=result.context.execution_caught,
-            ), records))
+            try:
+                outcome, records = run_question(pipeline, profile, question)
+            except Exception as error:
+                # Per-question hardening: gold-SQL assertion errors and any
+                # pipeline bug the degradation layer could not absorb.
+                outcome, records = error_outcome(question, error), None
+            outcomes.append((position, outcome, records))
         return outcomes
+
+    def safe_run_group(database_name, items):
+        try:
+            return run_group(database_name, items)
+        except Exception as error:
+            # Group-level hardening: a failing make_pipeline (or profile)
+            # marks every question of the group instead of aborting.
+            metrics.inc("harness.group_errors", system=system_name)
+            return [
+                (position, error_outcome(question, error), None)
+                for position, question in items
+            ]
 
     if max_workers is None:
         max_workers = min(len(groups) or 1, os.cpu_count() or 1)
     if max_workers <= 1 or len(groups) <= 1:
         collected = [
             outcome for database_name, items in groups.items()
-            for outcome in run_group(database_name, items)
+            for outcome in safe_run_group(database_name, items)
         ]
     else:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [
-                pool.submit(run_group, database_name, items)
+                pool.submit(safe_run_group, database_name, items)
                 for database_name, items in groups.items()
             ]
             collected = [
@@ -137,7 +205,6 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
         if trace_sink is not None and records:
             trace_sink.extend(records)
     elapsed = time.perf_counter() - started
-    metrics = get_metrics()
     metrics.inc("harness.questions", len(question_list))
     metrics.inc("harness.systems")
     metrics.observe("harness.system_s", elapsed,
@@ -185,6 +252,7 @@ class ExperimentContext:
         self.seed = seed
         self.cache = EvaluationCache()
         self.trace_sink = None      # set to a list to collect span records
+        self.fault_config = None    # set to a FaultConfig to inject chaos
         self.timings = {}
         self._workload = None
         self._profiles = None
@@ -251,6 +319,7 @@ def run_genedit(context, config=None, questions=None, system_name="GenEdit",
         questions=questions,
         cache=context.cache,
         trace_sink=context.trace_sink,
+        fault_config=context.fault_config,
     )
 
 
@@ -284,6 +353,7 @@ def table1(context=None, include_baselines=True, verbose=True):
                     spec.name,
                     cache=context.cache,
                     trace_sink=context.trace_sink,
+                    fault_config=context.fault_config,
                 )
             )
     reports.append(run_genedit(context))
@@ -366,6 +436,7 @@ def crossover(context=None, verbose=True):
             context.knowledge_sets, system_name,
             cache=context.cache,
             trace_sink=context.trace_sink,
+            fault_config=context.fault_config,
         )
         enterprise_report = evaluate_system(
             builder, enterprise, context.profiles,
@@ -373,6 +444,7 @@ def crossover(context=None, verbose=True):
             questions=enterprise.questions,
             cache=context.cache,
             trace_sink=context.trace_sink,
+            fault_config=context.fault_config,
         )
         reports[system_name] = (dev_report, enterprise_report)
         rows.append(
@@ -420,6 +492,7 @@ def model_selection(context=None, verbose=True):
             label,
             cache=context.cache,
             trace_sink=context.trace_sink,
+            fault_config=context.fault_config,
         )
         reports[label] = report
         questions = len(report.outcomes)
@@ -510,10 +583,15 @@ def profile(context=None, limit=None, verbose=True, as_json=False):
     started = time.perf_counter()
     for question in questions:
         if question.database not in pipelines:
-            pipelines[question.database] = GenEditPipeline(
+            pipeline = GenEditPipeline(
                 context.profiles[question.database].database,
                 knowledge_sets[question.database],
             )
+            if context.fault_config is not None and context.fault_config.rate:
+                pipeline.enable_faults(
+                    context.fault_config, scope=question.database
+                )
+            pipelines[question.database] = pipeline
         results.append(
             pipelines[question.database].generate(question.question)
         )
@@ -612,6 +690,7 @@ def _extract_option(argv, name):
 def main(argv=None):
     argv = argv if argv is not None else sys.argv[1:]
     trace_out, argv = _extract_option(argv, "--trace-out")
+    faults, argv = _extract_option(argv, "--faults")
     flags = {arg for arg in argv if arg.startswith("--")}
     positional = [arg for arg in argv if not arg.startswith("--")]
     target = positional[0] if positional else "all"
@@ -619,6 +698,15 @@ def main(argv=None):
     context = ExperimentContext()
     if trace_out is not None:
         context.trace_sink = []
+    if faults is not None:
+        from ..resilience import FaultConfig
+
+        context.fault_config = FaultConfig.parse(faults)
+        print(
+            f"fault injection armed: rate={context.fault_config.rate} "
+            f"seed={context.fault_config.seed}",
+            file=sys.stderr,
+        )
     if target == "profile":
         profile(context, as_json=as_json)
         _finish(context, flags, trace_out, target)

@@ -71,6 +71,13 @@ class QuestionOutcome:
     latency_ms: float = 0.0
     lint_caught: int = 0        # candidates the diagnostics engine rejected
     execution_caught: int = 0   # candidates only execution rejected
+    #: Why an incorrect outcome is incorrect: the pipeline's error text, a
+    #: worker-thread exception rendered as ``Type: message``, or
+    #: ``"result mismatch"`` for SQL that ran cleanly but disagreed with
+    #: gold. Always "" for correct outcomes, never "" for incorrect ones.
+    error: str = ""
+    #: Optional operators that failed soft during generation (resilience).
+    degraded: tuple = ()
 
 
 @dataclass
@@ -114,6 +121,16 @@ class EvaluationReport:
     def execution_caught(self):
         """Bad candidates only caught by actually executing them."""
         return sum(outcome.execution_caught for outcome in self.outcomes)
+
+    @property
+    def errored(self):
+        """Outcomes that failed with a recorded error (never aborted)."""
+        return [outcome for outcome in self.outcomes if outcome.error]
+
+    @property
+    def degraded_count(self):
+        """Total soft operator degradations across the workload."""
+        return sum(len(outcome.degraded) for outcome in self.outcomes)
 
     def row(self):
         """(simple, moderate, challenging, all) EX percentages."""

@@ -11,6 +11,7 @@ within an analytics engine" (§1, §4.2). This CLI is that thin engine:
     python -m repro solve sports_holdings          # interactive feedback REPL
     python -m repro knowledge sports_holdings      # knowledge-set overview
     python -m repro bench table1 [--metrics] [--trace-out run.jsonl]
+    python -m repro bench table1 --faults 0.2:7   # chaos run (§6c)
 
 Databases are the six benchmark profiles; their knowledge sets are mined
 on first use from the benchmark's training logs and documents.
@@ -258,6 +259,8 @@ def cmd_bench(args, out=sys.stdout):
         argv.append("--metrics")
     if args.trace_out:
         argv.extend(["--trace-out", args.trace_out])
+    if args.faults:
+        argv.extend(["--faults", args.faults])
     return harness_main(argv)
 
 
@@ -343,6 +346,12 @@ def build_arg_parser():
     bench.add_argument(
         "--trace-out", dest="trace_out", metavar="PATH", default=None,
         help="export every question's spans + a metrics snapshot as JSONL",
+    )
+    bench.add_argument(
+        "--faults", metavar="RATE[:SEED]", default=None,
+        help="inject deterministic faults (transient errors, timeouts, "
+             "garbled outputs) at RATE into every pipeline — chaos testing "
+             "for the resilience layer (DESIGN.md §6c)",
     )
     bench.set_defaults(func=cmd_bench)
     return parser

@@ -51,6 +51,46 @@ GPT_4O_MINI = ModelSpec("gpt-4o-mini", context_tokens=6000,
 
 MODELS = {spec.name: spec for spec in (GPT_4O, GPT_4O_MINI)}
 
+#: Fallback for model names outside :data:`MODELS`: metering must never
+#: crash on a duck-typed spec, so unknown models cost nothing and add no
+#: latency rather than raising ``KeyError`` mid-record.
+UNKNOWN_MODEL = ModelSpec("unknown", context_tokens=6000,
+                          input_cost_per_million=0.0,
+                          output_cost_per_million=0.0,
+                          latency_ms_per_call=0.0)
+
+
+def resolve_model_spec(model):
+    """The :class:`ModelSpec` for ``model`` (spec, duck-typed spec, or name).
+
+    A registered name resolves through :data:`MODELS`; an object carrying
+    its own pricing attributes is honoured as-is (duck-typed specs in
+    tests); anything else falls back to the zero-cost
+    :data:`UNKNOWN_MODEL` under the object's name.
+    """
+    if isinstance(model, ModelSpec):
+        return model
+    name = normalize_model_name(model)
+    spec = MODELS.get(name)
+    if spec is not None:
+        return spec
+    try:
+        return ModelSpec(
+            name,
+            context_tokens=int(getattr(model, "context_tokens", 6000)),
+            input_cost_per_million=float(
+                getattr(model, "input_cost_per_million", 0.0)
+            ),
+            output_cost_per_million=float(
+                getattr(model, "output_cost_per_million", 0.0)
+            ),
+            latency_ms_per_call=float(
+                getattr(model, "latency_ms_per_call", 0.0)
+            ),
+        )
+    except (TypeError, ValueError):
+        return ModelSpec(name, UNKNOWN_MODEL.context_tokens, 0.0, 0.0, 0.0)
+
 
 def normalize_model_name(model):
     """The canonical name of ``model`` for metering, spans, and metrics.
@@ -115,9 +155,26 @@ class Prompt:
         """Truncate entries (in reverse section order) until within budget.
 
         Returns a dict of {section title: number of entries dropped}.
+
+        The rendered length is tracked incrementally — dropping one entry
+        shrinks the render by exactly ``len(str(entry)) + 1`` (its line and
+        the joining newline) — so fitting a badly overflowing prompt is
+        linear in entries dropped instead of re-rendering the whole prompt
+        per drop.
         """
         dropped = {}
-        while self.token_count > budget_tokens:
+        # Rendered size: task, then "\n\n" + section per section; a section
+        # is "## title" plus "\n" + entry per entry (see render()).
+        total_len = len(self.task)
+        for section in self.sections:
+            total_len += 2 + 3 + len(section.title)
+            for entry in section.entries:
+                total_len += 1 + len(str(entry))
+
+        def tokens(length):
+            return max(1, (length + 3) // 4) if length else 0
+
+        while tokens(total_len) > budget_tokens:
             victim = None
             for section in reversed(self.sections):
                 if section.entries:
@@ -125,7 +182,8 @@ class Prompt:
                     break
             if victim is None:
                 return dropped
-            victim.entries.pop()
+            entry = victim.entries.pop()
+            total_len -= 1 + len(str(entry))
             dropped[victim.title] = dropped.get(victim.title, 0) + 1
         return dropped
 
@@ -139,10 +197,17 @@ class LlmCall:
     input_tokens: int
     output_tokens: int
     truncated: dict = field(default_factory=dict)
+    #: The pricing spec resolved at record time; ``None`` (e.g. a directly
+    #: constructed LlmCall) falls back to the registry with a zero-cost
+    #: default, so custom model names never raise ``KeyError``.
+    spec: ModelSpec = None
+
+    def _spec(self):
+        return self.spec or MODELS.get(self.model, UNKNOWN_MODEL)
 
     @property
     def cost_usd(self):
-        spec = MODELS[self.model]
+        spec = self._spec()
         return (
             self.input_tokens * spec.input_cost_per_million
             + self.output_tokens * spec.output_cost_per_million
@@ -150,7 +215,7 @@ class LlmCall:
 
     @property
     def latency_ms(self):
-        return MODELS[self.model].latency_ms_per_call
+        return self._spec().latency_ms_per_call
 
 
 class CallMeter:
@@ -169,6 +234,7 @@ class CallMeter:
             ),
             output_tokens=count_tokens(str(output_text)),
             truncated=dict(truncated or {}),
+            spec=resolve_model_spec(model),
         )
         self.calls.append(call)
         # Annotate the enclosing span (the operator's, during a pipeline

@@ -89,6 +89,16 @@ class PipelineContext:
     trace: list = field(default_factory=list)
     meter: CallMeter = field(default_factory=CallMeter)
     tracer: Tracer = field(default_factory=Tracer)
+    #: (operator name, reason) per optional operator that failed soft
+    #: (see DESIGN.md §6c's degradation matrix).
+    degraded_operators: list = field(default_factory=list)
+    #: Name of the required operator whose failure ended the run ("" if
+    #: the run reached the final check).
+    failed_operator: str = ""
+    #: ``callable(database) -> executor`` supplied by the pipeline so
+    #: fault injection covers self-correction and the final check; ``None``
+    #: (standalone operator tests) falls back to a plain ``Executor``.
+    executor_factory: object = None
 
     def add_trace(self, operator, summary, **detail):
         event = self.tracer.add_event(operator, summary, detail)
@@ -138,6 +148,18 @@ class GenerationResult:
     @property
     def cost_usd(self):
         return self.context.meter.total_cost_usd
+
+    @property
+    def degraded_operators(self):
+        """Names of optional operators that failed soft during this run."""
+        return tuple(
+            name for name, _reason in self.context.degraded_operators
+        )
+
+    @property
+    def failed_operator(self):
+        """The required operator whose failure ended the run ("" if none)."""
+        return self.context.failed_operator
 
     @property
     def latency_ms(self):

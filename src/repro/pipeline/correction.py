@@ -24,15 +24,31 @@ from .base import Operator
 class SelfCorrectionOperator(Operator):
     name = "self_correct"
 
+    def __init__(self, llm=None):
+        # The pipeline passes its LLM so regeneration meter records carry
+        # the configured model; standalone construction falls back to the
+        # paper's default.
+        self._llm = llm
+
+    @property
+    def _model(self):
+        if self._llm is not None:
+            return getattr(self._llm, "model", "gpt-4o")
+        return "gpt-4o"
+
     def run(self, context):
         config = context.config
-        executor = Executor(context.database)
+        make_executor = getattr(context, "executor_factory", None)
+        executor = (
+            make_executor(context.database) if make_executor
+            else Executor(context.database)
+        )
         engine = DiagnosticsEngine(context.database)
         metrics = get_metrics()
         attempts = []
-        queue = [context.sql] + [
-            sql for sql in context.candidates if sql != context.sql
-        ]
+        # Dedupe the whole queue (preserving order): duplicate candidates
+        # would burn retry budget re-linting/re-executing identical SQL.
+        queue = list(dict.fromkeys([context.sql] + list(context.candidates)))
         tried = 0
         for sql in queue:
             if not sql:
@@ -63,7 +79,7 @@ class SelfCorrectionOperator(Operator):
                     )
                     findings = "\n".join(diag.render() for diag in errors)
                     context.meter.record(
-                        "self_correct", "gpt-4o",
+                        "self_correct", self._model,
                         f"Diagnostics:\n{findings}\nRegenerate the SQL.", sql,
                     )
                     continue
@@ -82,7 +98,7 @@ class SelfCorrectionOperator(Operator):
                     # The regeneration prompt would carry the error text; the
                     # next grounding candidate plays that corrected role.
                     context.meter.record(
-                        "self_correct", "gpt-4o",
+                        "self_correct", self._model,
                         f"Error: {error}\nRegenerate the SQL.", sql,
                     )
                     continue

@@ -19,6 +19,17 @@ from .prompt import assemble_prompt
 class GenerationOperator(Operator):
     name = "generate_sql"
 
+    def __init__(self, llm=None):
+        # Same model-threading contract as SelfCorrectionOperator: meter
+        # records follow the pipeline's configured model.
+        self._llm = llm
+
+    @property
+    def _model(self):
+        if self._llm is not None:
+            return getattr(self._llm, "model", "gpt-4o")
+        return "gpt-4o"
+
     def run(self, context):
         config = context.config
         candidates = getattr(context, "grounding_candidates", [])
@@ -57,7 +68,7 @@ class GenerationOperator(Operator):
         context.candidates = rendered
         context.meter.record(
             "generate_sql",
-            "gpt-4o",
+            self._model,
             fitted.prompt,
             rendered[0] if rendered else "",
         )

@@ -3,6 +3,19 @@
 Wires the operators in order — reformulation, intent classification,
 example selection, instruction selection, schema linking, CoT planning, SQL
 generation, self-correction — and exposes :meth:`GenEditPipeline.generate`.
+
+Resilience (DESIGN.md §6c): the LLM is always wrapped in a
+:class:`~repro.resilience.ResilientLLM` (retry/backoff/timeout per the
+pipeline's :class:`~repro.resilience.RetryPolicy`; transparent when nothing
+fails), and :meth:`GenEditPipeline.generate` never lets an operator
+exception escape. Optional operators fail *soft*: their fallback leaves a
+degraded-but-usable context, recorded on the operator span
+(``degraded=true`` + reason) and in the metrics registry. Required
+operators (schema linking, planning, generation) exhaust their retries and
+then surface a failed :class:`~repro.pipeline.base.GenerationResult` with
+the error text — the harness records an outcome either way.
+:meth:`enable_faults` arms seed-deterministic chaos for tests and the
+``--faults`` harness flag.
 """
 
 from __future__ import annotations
@@ -11,6 +24,13 @@ from ..engine.errors import ExecutionError
 from ..engine.executor import Executor
 from ..llm.simulated import SimulatedLLM
 from ..obs.metrics import get_metrics
+from ..resilience import (
+    DEFAULT_RETRY_POLICY,
+    FaultInjector,
+    FaultyExecutor,
+    FaultyLLM,
+    ResilientLLM,
+)
 from ..sql.errors import SqlError
 from .base import GenerationResult, PipelineContext
 from .config import DEFAULT_CONFIG
@@ -24,24 +44,99 @@ from .reformulate import ReformulateOperator
 from .schema_linking import SchemaLinkingOperator
 
 
+def _degrade_reformulate(context):
+    context.reformulated = context.question
+
+
+def _degrade_intents(context):
+    context.intent_ids = []
+
+
+def _degrade_examples(context):
+    context.examples = []
+    context.example_pool = []
+    context.example_scores = {}
+
+
+def _degrade_instructions(context):
+    context.instructions = []
+
+
+def _degrade_self_correct(context):
+    # The generated candidate stands un-corrected; the final check still
+    # decides whether the run succeeded.
+    pass
+
+
+#: Degradation matrix: optional operators and the fallback that leaves the
+#: context usable when they fail. Operators absent here (schema linking,
+#: planning, generation) are required — their failure fails the run.
+DEGRADATIONS = {
+    "reformulate": _degrade_reformulate,
+    "classify_intents": _degrade_intents,
+    "select_examples": _degrade_examples,
+    "select_instructions": _degrade_instructions,
+    "self_correct": _degrade_self_correct,
+}
+
+
 class GenEditPipeline:
     """The deployed GenEdit generation pipeline."""
 
-    def __init__(self, database, knowledge, config=None, llm=None):
+    def __init__(self, database, knowledge, config=None, llm=None,
+                 retry_policy=None, fault_injector=None):
         self.database = database
         self.knowledge = knowledge
         self.config = config or DEFAULT_CONFIG
-        self.llm = llm or SimulatedLLM()
-        self.operators = [
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self.fault_injector = None
+        self._base_llm = llm or SimulatedLLM()
+        self.llm = ResilientLLM(self._base_llm, self.retry_policy)
+        self.operators = self._build_operators()
+        if fault_injector is not None:
+            self.enable_faults(injector=fault_injector)
+
+    def _build_operators(self):
+        return [
             ReformulateOperator(self.llm),
             IntentClassificationOperator(self.llm),
             ExampleSelectionOperator(),
             InstructionSelectionOperator(),
             SchemaLinkingOperator(self.llm),
             PlanningOperator(self.llm),
-            GenerationOperator(),
-            SelfCorrectionOperator(),
+            GenerationOperator(self.llm),
+            SelfCorrectionOperator(self.llm),
         ]
+
+    def enable_faults(self, config=None, scope="", injector=None):
+        """Arm deterministic fault injection on this pipeline.
+
+        Pass either a :class:`~repro.resilience.FaultConfig` (an injector
+        scoped to ``scope`` or the database name is built) or a ready
+        :class:`~repro.resilience.FaultInjector`. The LLM is re-wrapped as
+        retry(fault(llm)) and the operators rebuilt around it; the
+        executors used by self-correction and the final check inject
+        through the same injector. Returns the injector.
+        """
+        if injector is None:
+            if config is None:
+                raise ValueError("enable_faults needs a config or injector")
+            injector = FaultInjector(
+                config,
+                scope=scope or getattr(self.database, "name", ""),
+            )
+        self.fault_injector = injector
+        self.llm = ResilientLLM(
+            FaultyLLM(self._base_llm, injector), self.retry_policy
+        )
+        self.operators = self._build_operators()
+        return injector
+
+    def _make_executor(self, database):
+        executor = Executor(database)
+        if self.fault_injector is not None:
+            executor = FaultyExecutor(executor, self.fault_injector)
+        return executor
 
     def generate(self, question, config=None):
         """Generate SQL for ``question`` and return a GenerationResult.
@@ -51,6 +146,10 @@ class GenEditPipeline:
         ``final_check`` span around the closing execution — export the tree
         with :meth:`GenerationResult.trace_records`. Per-operator wall time
         feeds the process-wide metrics registry.
+
+        Operator exceptions never escape: optional operators degrade (see
+        :data:`DEGRADATIONS`), required ones end the run as a failed
+        result whose ``error`` names the operator and the exception.
         """
         context = PipelineContext(
             question=question,
@@ -58,26 +157,59 @@ class GenEditPipeline:
             knowledge=self.knowledge,
             config=config or self.config,
         )
+        context.executor_factory = self._make_executor
         metrics = get_metrics()
         with context.span(
             "generate",
             question=question,
             database=getattr(self.database, "name", str(self.database)),
         ) as root:
+            failure_text = ""
             for operator in self.operators:
                 with context.span(operator.name) as span:
-                    operator.run(context)
+                    try:
+                        operator.run(context)
+                    except Exception as error:
+                        reason = f"{type(error).__name__}: {error}"
+                        if operator.name in DEGRADATIONS:
+                            self._degrade(context, operator.name, span,
+                                          reason, metrics)
+                        else:
+                            context.failed_operator = operator.name
+                            failure_text = f"{operator.name}: {reason}"
+                            span.status = "error"
+                            span.error = reason
                 metrics.observe(
                     "pipeline.operator_ms", span.duration_ms,
                     operator=operator.name,
                 )
-            with context.span("final_check") as check:
-                success, error = self._final_check(context)
-                check.set_attr("success", success)
-                if error:
-                    check.set_attr("error_text", error)
+                if context.failed_operator:
+                    break
+            if context.failed_operator:
+                success, error = False, failure_text
+                metrics.inc(
+                    "pipeline.failed_runs", operator=context.failed_operator
+                )
+                root.set_attr("failed_operator", context.failed_operator)
+                context.add_trace(
+                    context.failed_operator,
+                    f"required operator failed: {failure_text}",
+                )
+            else:
+                with context.span("final_check") as check:
+                    success, error = self._final_check(context)
+                    check.set_attr("success", success)
+                    if error:
+                        check.set_attr("error_text", error)
             root.set_attr("success", success)
             root.set_attr("attempts", len(context.attempts))
+            if context.degraded_operators:
+                root.set_attr(
+                    "degraded",
+                    " ".join(
+                        name for name, _ in context.degraded_operators
+                    ),
+                )
             root.inc_attr("llm.cost_usd", context.meter.total_cost_usd)
         metrics.inc("pipeline.runs")
         metrics.observe("pipeline.generate_ms", root.duration_ms)
@@ -91,15 +223,28 @@ class GenEditPipeline:
             error=error,
         )
 
+    def _degrade(self, context, name, span, reason, metrics):
+        """Apply an optional operator's fallback and record the event."""
+        DEGRADATIONS[name](context)
+        span.set_attr("degraded", True)
+        span.set_attr("degraded_reason", reason)
+        context.degraded_operators.append((name, reason))
+        metrics.inc("pipeline.operator_degraded", operator=name)
+        context.add_trace(name, f"degraded: {reason}")
+
     def execute(self, sql):
-        """Run SQL on the pipeline's database (used by UIs and examples)."""
+        """Run SQL on the pipeline's database (used by UIs and examples).
+
+        Deliberately unfaulted: chaos covers generation, not result
+        display.
+        """
         return Executor(self.database).execute(sql)
 
     def _final_check(self, context):
         if not context.sql:
             return False, "no SQL generated"
         try:
-            Executor(context.database).execute(context.sql)
+            self._make_executor(context.database).execute(context.sql)
         except (SqlError, ExecutionError) as error:
             return False, str(error)
         return True, ""

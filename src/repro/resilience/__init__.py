@@ -1,0 +1,73 @@
+"""Resilience layer: retries, fault injection, and graceful degradation.
+
+The paper's pipeline already budgets for *semantic* failure (up to ``k``
+self-correction retries, §2.1); this package supplies the *operational*
+half an enterprise deployment needs. :class:`RetryPolicy` bounds attempts
+with exponential backoff (deterministic seeded jitter) and a per-call
+deadline; :class:`ResilientLLM` applies the policy around every simulated
+LLM operator method, classifying errors as retryable or fatal and
+optionally tripping a :class:`CircuitBreaker`. :class:`FaultInjector`
+wraps the LLM (:class:`FaultyLLM`) and the execution engine
+(:class:`FaultyExecutor`) with seed-deterministic fault rates — transient
+errors, timeouts, truncated/garbled outputs, latency spikes — so chaos
+behaviour is reproducible in tests and benchmarks (``--faults RATE[:SEED]``
+on the harness, ``make chaos-smoke`` in CI). See DESIGN.md §6c.
+"""
+
+from .faults import (
+    FAULT_ERROR,
+    FAULT_GARBLE,
+    FAULT_LATENCY,
+    FAULT_TIMEOUT,
+    FaultConfig,
+    FaultInjector,
+    FaultyExecutor,
+    FaultyLLM,
+    InjectedExecutionError,
+)
+from .policy import (
+    DEFAULT_RETRY_POLICY,
+    FATAL,
+    RETRYABLE,
+    CircuitBreaker,
+    CircuitOpenError,
+    FatalLLMError,
+    LLMTimeoutError,
+    ResilienceError,
+    RetriesExhaustedError,
+    RetryPolicy,
+    TransientError,
+    TransientLLMError,
+    classify_error,
+    stable_unit,
+)
+from .wrapper import WRAPPED_LLM_METHODS, ResilientLLM, unwrap_llm
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DEFAULT_RETRY_POLICY",
+    "FATAL",
+    "FAULT_ERROR",
+    "FAULT_GARBLE",
+    "FAULT_LATENCY",
+    "FAULT_TIMEOUT",
+    "FatalLLMError",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultyExecutor",
+    "FaultyLLM",
+    "InjectedExecutionError",
+    "LLMTimeoutError",
+    "RETRYABLE",
+    "ResilienceError",
+    "ResilientLLM",
+    "RetriesExhaustedError",
+    "RetryPolicy",
+    "TransientError",
+    "TransientLLMError",
+    "WRAPPED_LLM_METHODS",
+    "classify_error",
+    "stable_unit",
+    "unwrap_llm",
+]

@@ -1,0 +1,209 @@
+"""Retry policy, error classification, and the circuit breaker.
+
+Everything here is deterministic by construction: backoff jitter comes
+from a stable hash of ``(seed, site, attempt)`` rather than a shared RNG,
+and the circuit breaker counts *calls* (not wall-clock time) through its
+cooldown, so a chaos run replays identically under any thread scheduling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+
+
+def stable_unit(*parts):
+    """A deterministic sample in ``[0, 1)`` from the hash of ``parts``.
+
+    Used for backoff jitter and fault sampling: unlike a sequential RNG the
+    value depends only on the identifying parts, never on how many draws
+    other threads made first — chaos runs replay identically under the
+    parallel harness.
+    """
+    text = "|".join(str(part) for part in parts)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+# -- error taxonomy ---------------------------------------------------------
+
+
+class ResilienceError(Exception):
+    """Base of the resilience layer's own error types."""
+
+
+class TransientError(ResilienceError):
+    """A failure worth retrying (network blip, throttle, flaky backend)."""
+
+
+class TransientLLMError(TransientError):
+    """A retryable failure of a (simulated) model call."""
+
+
+class LLMTimeoutError(TransientError):
+    """A model call exceeded the policy's per-call deadline."""
+
+
+class FatalLLMError(ResilienceError):
+    """A model-call failure retrying cannot fix (bad request, auth)."""
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker is open for this call site; call not attempted."""
+
+
+class RetriesExhaustedError(ResilienceError):
+    """Every allowed attempt failed; carries the last underlying error."""
+
+    def __init__(self, site, attempts, last_error):
+        self.site = site
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"{site} failed after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+
+
+RETRYABLE = "retryable"
+FATAL = "fatal"
+
+
+def classify_error(error, extra_retryable=()):
+    """Classify ``error`` as :data:`RETRYABLE` or :data:`FATAL`.
+
+    The layer's own transient types are retryable; so are the stdlib
+    shapes a real inference stack produces (timeouts, connection resets).
+    Everything else — including :class:`FatalLLMError`,
+    :class:`CircuitOpenError`, and arbitrary programming errors — is fatal:
+    retrying a deterministic failure only burns budget.
+    """
+    if isinstance(error, (FatalLLMError, CircuitOpenError)):
+        return FATAL
+    if isinstance(error, TransientError):
+        return RETRYABLE
+    if isinstance(error, (TimeoutError, ConnectionError, BrokenPipeError)):
+        return RETRYABLE
+    if extra_retryable and isinstance(error, tuple(extra_retryable)):
+        return RETRYABLE
+    return FATAL
+
+
+# -- retry policy -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds and backoff for one class of calls.
+
+    ``backoff_ms(attempt, site)`` grows exponentially from
+    ``backoff_base_ms`` and is capped at ``backoff_max_ms``; the seeded
+    jitter adds up to ``jitter_ratio`` of the raw backoff, deterministically
+    per ``(seed, site, attempt)``. ``timeout_ms`` is a soft per-call
+    deadline: a call observed (or simulated) to run past it is treated as a
+    retryable timeout. ``sleep=False`` (the default for the simulated
+    stack) accounts the backoff in metrics without actually sleeping.
+
+    ``breaker_threshold`` consecutive failures at one site open the
+    breaker for ``breaker_cooldown`` subsequent calls (0 disables it).
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 50.0
+    backoff_multiplier: float = 2.0
+    backoff_max_ms: float = 2000.0
+    jitter_ratio: float = 0.25
+    seed: int = 0
+    timeout_ms: float = 30_000.0
+    sleep: bool = False
+    breaker_threshold: int = 0
+    breaker_cooldown: int = 8
+
+    def backoff_ms(self, attempt, site=""):
+        """Backoff before retry number ``attempt`` (1-based) at ``site``."""
+        raw = min(
+            self.backoff_base_ms * self.backoff_multiplier ** max(
+                attempt - 1, 0
+            ),
+            self.backoff_max_ms,
+        )
+        jitter = raw * self.jitter_ratio * stable_unit(
+            self.seed, site, attempt
+        )
+        return raw + jitter
+
+    def make_breaker(self):
+        """A :class:`CircuitBreaker` per this policy, or None if disabled."""
+        if self.breaker_threshold <= 0:
+            return None
+        return CircuitBreaker(self.breaker_threshold, self.breaker_cooldown)
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+# -- circuit breaker --------------------------------------------------------
+
+
+class _SiteState:
+    __slots__ = ("failures", "open_remaining", "half_open")
+
+    def __init__(self):
+        self.failures = 0
+        self.open_remaining = 0
+        self.half_open = False
+
+
+class CircuitBreaker:
+    """Per-site breaker counted in calls, so behaviour is deterministic.
+
+    ``threshold`` consecutive failures open the circuit; the next
+    ``cooldown`` calls are rejected without reaching the backend; the call
+    after that is a half-open trial — success closes the circuit, failure
+    re-opens it for another cooldown.
+    """
+
+    def __init__(self, threshold, cooldown):
+        if threshold <= 0:
+            raise ValueError("breaker threshold must be positive")
+        self.threshold = threshold
+        self.cooldown = max(int(cooldown), 1)
+        self._lock = threading.Lock()
+        self._sites = {}
+
+    def _state(self, site):
+        state = self._sites.get(site)
+        if state is None:
+            state = self._sites[site] = _SiteState()
+        return state
+
+    def allow(self, site):
+        """Whether a call at ``site`` may proceed (counts one rejection)."""
+        with self._lock:
+            state = self._state(site)
+            if state.open_remaining > 0:
+                state.open_remaining -= 1
+                if state.open_remaining == 0:
+                    state.half_open = True
+                return False
+            return True
+
+    def record_success(self, site):
+        with self._lock:
+            state = self._state(site)
+            state.failures = 0
+            state.half_open = False
+
+    def record_failure(self, site):
+        with self._lock:
+            state = self._state(site)
+            state.failures += 1
+            if state.half_open or state.failures >= self.threshold:
+                state.open_remaining = self.cooldown
+                state.half_open = False
+                state.failures = 0
+
+    def is_open(self, site):
+        with self._lock:
+            return self._state(site).open_remaining > 0

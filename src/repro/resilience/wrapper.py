@@ -1,0 +1,127 @@
+"""The retrying LLM wrapper: policy applied around every operator method.
+
+:class:`ResilientLLM` is transparent when nothing fails — same arguments,
+same return values, attribute access (``model``, ``linking_model``...)
+passes through — so wrapping the simulated LLM never perturbs a healthy
+run. On failure it classifies the error (:func:`~.policy.classify_error`),
+retries retryable ones up to the policy bound with deterministic backoff,
+feeds the circuit breaker when one is configured, and annotates both the
+enclosing span and the process-wide metrics registry with what happened.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..obs.metrics import get_metrics
+from ..obs.tracing import current_span
+from .policy import (
+    FATAL,
+    CircuitOpenError,
+    LLMTimeoutError,
+    RetriesExhaustedError,
+    RetryPolicy,
+    classify_error,
+)
+
+#: The operator-facing methods of :class:`~repro.llm.simulated.SimulatedLLM`
+#: that the wrapper guards. Anything else passes through untouched.
+WRAPPED_LLM_METHODS = (
+    "reformulate", "classify_intents", "link_schema", "understand",
+)
+
+
+def unwrap_llm(llm):
+    """The innermost LLM under any resilience/fault wrappers."""
+    seen = set()
+    while hasattr(llm, "inner") and id(llm) not in seen:
+        seen.add(id(llm))
+        llm = llm.inner
+    return llm
+
+
+class ResilientLLM:
+    """Retry/backoff/timeout/breaker wrapper around an LLM's operators."""
+
+    def __init__(self, llm, policy=None, breaker=None):
+        self.inner = llm
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker if breaker is not None \
+            else self.policy.make_breaker()
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def reformulate(self, *args, **kwargs):
+        return self._call("reformulate", *args, **kwargs)
+
+    def classify_intents(self, *args, **kwargs):
+        return self._call("classify_intents", *args, **kwargs)
+
+    def link_schema(self, *args, **kwargs):
+        return self._call("link_schema", *args, **kwargs)
+
+    def understand(self, *args, **kwargs):
+        return self._call("understand", *args, **kwargs)
+
+    # -- machinery -------------------------------------------------------
+
+    def _call(self, site, *args, **kwargs):
+        policy = self.policy
+        metrics = get_metrics()
+        function = getattr(self.inner, site)
+        last_error = None
+        for attempt in range(1, max(policy.max_attempts, 1) + 1):
+            if self.breaker is not None and not self.breaker.allow(site):
+                metrics.inc("resilience.circuit_open", operator=site)
+                self._annotate_span("resilience.circuit_open", 1)
+                raise CircuitOpenError(f"circuit open for {site}")
+            started = time.perf_counter()
+            try:
+                result = function(*args, **kwargs)
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                if elapsed_ms > policy.timeout_ms:
+                    # Soft deadline: a synchronous stack cannot preempt the
+                    # call, but a call observed past the budget is treated
+                    # exactly like one that timed out remotely.
+                    raise LLMTimeoutError(
+                        f"{site} took {elapsed_ms:.0f}ms "
+                        f"(deadline {policy.timeout_ms:.0f}ms)"
+                    )
+            except Exception as error:
+                if classify_error(error) is FATAL:
+                    if self.breaker is not None:
+                        self.breaker.record_failure(site)
+                    metrics.inc("resilience.fatal", operator=site)
+                    raise
+                last_error = error
+                if self.breaker is not None:
+                    self.breaker.record_failure(site)
+                if attempt >= policy.max_attempts:
+                    break
+                backoff_ms = policy.backoff_ms(attempt, site)
+                metrics.inc("resilience.retries", operator=site)
+                metrics.observe("resilience.backoff_ms", backoff_ms,
+                                operator=site)
+                self._annotate_span("resilience.retries", 1)
+                self._annotate_span("resilience.backoff_ms", backoff_ms)
+                if policy.sleep and backoff_ms > 0:
+                    time.sleep(backoff_ms / 1000.0)
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success(site)
+            if attempt > 1:
+                metrics.inc("resilience.recoveries", operator=site)
+                span = current_span()
+                if span is not None:
+                    span.set_attr("resilience.recovered_attempt", attempt)
+            return result
+        metrics.inc("resilience.exhausted", operator=site)
+        self._annotate_span("resilience.exhausted", 1)
+        raise RetriesExhaustedError(site, policy.max_attempts, last_error)
+
+    @staticmethod
+    def _annotate_span(key, value):
+        span = current_span()
+        if span is not None:
+            span.inc_attr(key, value)

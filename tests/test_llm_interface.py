@@ -6,10 +6,14 @@ from repro.llm.interface import (
     GPT_4O,
     GPT_4O_MINI,
     CallMeter,
+    LlmCall,
+    ModelSpec,
     Prompt,
     count_tokens,
+    resolve_model_spec,
 )
 from repro.llm.simulated import SimulatedLLM
+from repro.obs.tracing import Tracer
 
 
 class TestTokens:
@@ -71,6 +75,122 @@ class TestMeter:
         meter_big.record("op", GPT_4O, prompt, "y" * 400)
         meter_small.record("op", GPT_4O_MINI, prompt, "y" * 400)
         assert meter_small.total_cost_usd < meter_big.total_cost_usd
+
+
+class TestUnknownModels:
+    """Regression: model names outside MODELS must never raise KeyError."""
+
+    def test_custom_model_name_under_active_span(self):
+        meter = CallMeter()
+        tracer = Tracer()
+        prompt = Prompt(task="hello " * 50)
+        with tracer.span("op") as span:
+            call = meter.record(
+                "op", "claude-nonexistent-v9", prompt, "output"
+            )
+        # Recording annotates the span with cost — this used to KeyError.
+        assert call.cost_usd == 0.0
+        assert call.latency_ms == 0.0
+        assert span.attributes["llm.cost_usd"] == 0.0
+        assert span.attributes["llm.model"] == "claude-nonexistent-v9"
+        assert meter.total_cost_usd == 0.0
+        assert meter.total_latency_ms == 0.0
+
+    def test_directly_constructed_call_with_unknown_model(self):
+        call = LlmCall(
+            operator="op", model="mystery", input_tokens=10, output_tokens=5
+        )
+        assert call.cost_usd == 0.0
+        assert call.latency_ms == 0.0
+
+    def test_duck_typed_spec_priced_as_given(self):
+        class HomeGrown:
+            name = "home-grown"
+            context_tokens = 4000
+            input_cost_per_million = 1.0
+            output_cost_per_million = 4.0
+            latency_ms_per_call = 100.0
+
+        meter = CallMeter()
+        call = meter.record(
+            "op", HomeGrown(), Prompt(task="x" * 4000), "y" * 40
+        )
+        assert call.model == "home-grown"
+        assert call.cost_usd == pytest.approx(
+            (1000 * 1.0 + 10 * 4.0) / 1_000_000
+        )
+        assert call.latency_ms == 100.0
+
+    def test_registered_spec_resolution_unchanged(self):
+        assert resolve_model_spec("gpt-4o") is GPT_4O
+        assert resolve_model_spec(GPT_4O_MINI) is GPT_4O_MINI
+        fallback = resolve_model_spec("never-heard-of-it")
+        assert isinstance(fallback, ModelSpec)
+        assert fallback.input_cost_per_million == 0.0
+
+
+def _reference_fit_to_budget(prompt, budget_tokens):
+    """The original quadratic implementation: re-render per drop."""
+    dropped = {}
+    while prompt.token_count > budget_tokens:
+        victim = None
+        for section in reversed(prompt.sections):
+            if section.entries:
+                victim = section
+                break
+        if victim is None:
+            return dropped
+        victim.entries.pop()
+        dropped[victim.title] = dropped.get(victim.title, 0) + 1
+    return dropped
+
+
+class TestFitToBudgetEquivalence:
+    """The incremental fit must drop exactly what the quadratic fit did."""
+
+    def _pair(self, builder):
+        return builder(), builder()
+
+    @pytest.mark.parametrize("budget", [10, 50, 100, 400, 1000, 10_000])
+    def test_dropped_dicts_identical(self, budget):
+        def build():
+            prompt = Prompt(task="Answer the question.")
+            prompt.add_section("schema", [f"col_{i}" * 9 for i in range(12)])
+            prompt.add_section("examples", ["ex" * 150 for _ in range(8)])
+            prompt.add_section(
+                "instructions", ["", "short", "x" * 777, "mid " * 30]
+            )
+            return prompt
+
+        fast, slow = self._pair(build)
+        assert fast.fit_to_budget(budget) == \
+            _reference_fit_to_budget(slow, budget)
+        assert fast.render() == slow.render()
+        assert fast.token_count == slow.token_count
+
+    def test_empty_sections_and_task_only(self):
+        fast, slow = self._pair(lambda: Prompt(task="t" * 4000))
+        assert fast.fit_to_budget(10) == _reference_fit_to_budget(slow, 10)
+
+        def with_empty():
+            prompt = Prompt(task="go")
+            prompt.add_section("empty", [])
+            prompt.add_section("full", ["e" * 100 for _ in range(5)])
+            return prompt
+
+        fast, slow = self._pair(with_empty)
+        assert fast.fit_to_budget(20) == _reference_fit_to_budget(slow, 20)
+        assert fast.render() == slow.render()
+
+    def test_non_string_entries(self):
+        def build():
+            prompt = Prompt(task="numbers")
+            prompt.add_section("ints", list(range(1000, 1100)))
+            return prompt
+
+        fast, slow = self._pair(build)
+        assert fast.fit_to_budget(30) == _reference_fit_to_budget(slow, 30)
+        assert fast.render() == slow.render()
 
 
 class TestSimulatedOperators:
