@@ -9,13 +9,16 @@
 #   make trace-smoke - export one traced run, render it, check the root span
 #   make chaos-smoke - run Table 1 under fault injection; every question
 #                   must still produce an outcome and retries must register
+#   make ledger-smoke - record the same bench run twice into a scratch
+#                   ledger; repro diff must find zero flips (determinism)
 #   make bench    - regenerate the paper tables
 
 PYTHON ?= python
 
-.PHONY: lint compile test lint-corpus trace-smoke chaos-smoke bench
+.PHONY: lint compile test lint-corpus trace-smoke chaos-smoke ledger-smoke \
+	bench
 
-lint: compile test lint-corpus trace-smoke chaos-smoke
+lint: compile test lint-corpus trace-smoke chaos-smoke ledger-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -40,6 +43,16 @@ chaos-smoke:
 		> /tmp/repro-chaos-smoke.txt
 	grep -q "GenEdit" /tmp/repro-chaos-smoke.txt
 	grep -q "resilience.retries" /tmp/repro-chaos-smoke.txt
+
+ledger-smoke:
+	rm -rf /tmp/repro-ledger-smoke
+	PYTHONPATH=src $(PYTHON) -m repro bench table1 \
+		--ledger-dir /tmp/repro-ledger-smoke > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro bench table1 \
+		--ledger-dir /tmp/repro-ledger-smoke > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro diff --latest \
+		--ledger-dir /tmp/repro-ledger-smoke > /tmp/repro-ledger-smoke.txt
+	grep -q "total: 0 flip(s)" /tmp/repro-ledger-smoke.txt
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench all

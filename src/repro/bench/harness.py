@@ -25,6 +25,13 @@ aborting the experiment, and ``--faults RATE[:SEED]`` injects
 seed-deterministic chaos (transient LLM/executor errors, timeouts,
 garbled outputs) through every pipeline — ``make chaos-smoke`` proves the
 harness completes under a 20% fault rate. See DESIGN.md §6c.
+
+Run ledger: ``--ledger`` (optionally ``--ledger-dir PATH``) persists the
+whole invocation as a versioned run record under ``.repro/runs/<run_id>/``
+— per-question outcomes with operator output digests, the cost/token
+accounting table, and wall-clock span rollups — for ``python -m repro
+runs|diff|triage``. The record notice goes to stderr; stdout stays
+byte-identical. See DESIGN.md §6d.
 """
 
 from __future__ import annotations
@@ -51,7 +58,8 @@ PROFILE_SCHEMA_VERSION = 2
 
 def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                     system_name, questions=None, cache=None,
-                    max_workers=None, trace_sink=None, fault_config=None):
+                    max_workers=None, trace_sink=None, fault_config=None,
+                    ledger=None, ledger_meta=None):
     """Run one system over the workload and return an EvaluationReport.
 
     ``make_pipeline(database, knowledge)`` builds the system under test for
@@ -79,6 +87,11 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
     injection on every pipeline that supports ``enable_faults`` — each
     database group gets an injector scoped by database name, so chaos runs
     replay identically under any scheduling.
+
+    ``ledger`` (a :class:`~repro.obs.ledger.RunLedger`) persists the run as
+    a single-system run record; the assigned run id lands on
+    ``report.run_id``. ``ledger_meta`` may carry ``seed``/``config``/
+    ``kind`` plus free-form keys stored under the record's ``extra``.
     """
     question_list = list(
         questions if questions is not None else workload.questions
@@ -105,6 +118,7 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
             gold_sql=question.gold_sql,
             features=question.features,
             error=f"{type(error).__name__}: {error}",
+            question_text=question.question,
         )
 
     def run_question(pipeline, profile, question):
@@ -130,6 +144,9 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                     attributes["system"] = system_name
                     attributes["question_id"] = question.question_id
                     attributes["correct"] = correct
+        final_diagnostics = result.context.candidate_diagnostics.get(
+            result.sql, ()
+        )
         return QuestionOutcome(
             question_id=question.question_id,
             difficulty=question.difficulty,
@@ -146,6 +163,18 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
             error=error_text,
             degraded=result.degraded_operators
             if hasattr(result, "degraded_operators") else (),
+            question_text=question.question,
+            lint_codes=tuple(sorted({
+                diagnostic.code for diagnostic in final_diagnostics
+                if diagnostic.is_error
+            })),
+            attempts=len(result.context.attempts),
+            operator_digests=tuple(result.context.operator_digests),
+            llm_calls=tuple(
+                (call.operator, call.model, call.input_tokens,
+                 call.output_tokens, round(call.cost_usd, 10))
+                for call in result.context.meter.calls
+            ),
         ), records
 
     def run_group(database_name, items):
@@ -215,27 +244,73 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
             "harness.questions_per_s",
             round(len(question_list) / elapsed, 2),
         )
+    if ledger is not None:
+        from ..obs.ledger import build_run_record, build_timing
+
+        meta = dict(ledger_meta or {})
+        record = build_run_record(
+            [report],
+            kind=meta.pop("kind", "evaluate"),
+            target=system_name,
+            seed=meta.pop("seed", None),
+            config=meta.pop("config", None),
+            knowledge_sets=knowledge_sets,
+            faults=fault_config,
+            extra=meta or None,
+        )
+        report.run_id = ledger.record_run(
+            record,
+            timing=build_timing(trace_sink or (), wall_s=elapsed),
+        )
     return report
 
 
-def format_table(title, headers, rows):
+def format_table(title, headers, rows, precision=2):
+    """Render an aligned text table.
+
+    Floats are formatted with ``precision`` decimals (one consistent width
+    per table); columns whose every cell is numeric are right-aligned so
+    magnitudes line up, everything else stays left-aligned.
+    """
+    def render(cell):
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    def numeric(cell):
+        return isinstance(cell, (int, float)) and not isinstance(cell, bool)
+
     widths = [len(header) for header in headers]
+    right_align = [bool(rows)] * len(headers)
     rendered_rows = []
     for row in rows:
-        rendered = [
-            f"{cell:.2f}" if isinstance(cell, float) else str(cell)
-            for cell in row
-        ]
+        rendered = [render(cell) for cell in row]
         rendered_rows.append(rendered)
         widths = [max(w, len(cell)) for w, cell in zip(widths, rendered)]
+        right_align = [
+            aligned and numeric(cell)
+            for aligned, cell in zip(right_align, row)
+        ]
+
+    def pad(cell, width, column):
+        if right_align[column]:
+            return cell.rjust(width)
+        return cell.ljust(width)
+
     lines = [title]
     lines.append(
-        " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+        " | ".join(
+            pad(header, width, column)
+            for column, (header, width) in enumerate(zip(headers, widths))
+        )
     )
     lines.append("-+-".join("-" * width for width in widths))
     for rendered in rendered_rows:
         lines.append(
-            " | ".join(cell.ljust(width) for cell, width in zip(rendered, widths))
+            " | ".join(
+                pad(cell, width, column)
+                for column, (cell, width) in enumerate(zip(rendered, widths))
+            )
         )
     return "\n".join(lines)
 
@@ -642,6 +717,7 @@ def profile(context=None, limit=None, verbose=True, as_json=False):
                 f"EX {payload['ex_all']:.2f})",
                 ["Stage", "Seconds"],
                 rows,
+                precision=4,
             ))
     return payload
 
@@ -691,6 +767,7 @@ def main(argv=None):
     argv = argv if argv is not None else sys.argv[1:]
     trace_out, argv = _extract_option(argv, "--trace-out")
     faults, argv = _extract_option(argv, "--faults")
+    ledger_dir, argv = _extract_option(argv, "--ledger-dir")
     flags = {arg for arg in argv if arg.startswith("--")}
     positional = [arg for arg in argv if not arg.startswith("--")]
     target = positional[0] if positional else "all"
@@ -698,6 +775,18 @@ def main(argv=None):
     context = ExperimentContext()
     if trace_out is not None:
         context.trace_sink = []
+    ledger = None
+    if (
+        ("--ledger" in flags or ledger_dir is not None)
+        and "--no-ledger" not in flags
+    ):
+        from ..obs.ledger import RunLedger
+
+        ledger = RunLedger(ledger_dir)
+        if context.trace_sink is None:
+            # The ledger's timing file wants per-span rollups; collecting
+            # never perturbs reports or stdout.
+            context.trace_sink = []
     if faults is not None:
         from ..resilience import FaultConfig
 
@@ -707,49 +796,83 @@ def main(argv=None):
             f"seed={context.fault_config.seed}",
             file=sys.stderr,
         )
+    reports = []
+    profile_payload = None
     if target == "profile":
-        profile(context, as_json=as_json)
-        _finish(context, flags, trace_out, target)
+        profile_payload = profile(context, as_json=as_json)
+        _finish(context, flags, trace_out, target, reports=reports,
+                profile_payload=profile_payload, ledger=ledger)
         return 0
     if target in ("table1", "all"):
-        table1(context)
+        reports.extend(table1(context))
         print()
     if target in ("table2", "all"):
-        table2(context)
+        reports.extend(table2(context))
         print()
     if target in ("crossover", "all"):
-        crossover(context)
+        for pair in crossover(context).values():
+            reports.extend(pair)
         print()
     if target in ("models", "all"):
-        model_selection(context)
+        reports.extend(model_selection(context).values())
         print()
     if target in ("retrieval", "all"):
-        retrieval_ablation(context)
+        reports.extend(retrieval_ablation(context))
         print()
     if target in ("feedback", "all"):
         feedback_metrics()
     if "--profile" in flags:
         print()
-        profile(context, as_json=as_json)
-    _finish(context, flags, trace_out, target)
+        profile_payload = profile(context, as_json=as_json)
+    _finish(context, flags, trace_out, target, reports=reports,
+            profile_payload=profile_payload, ledger=ledger)
     return 0
 
 
-def _finish(context, flags, trace_out, target):
-    """Handle ``--metrics`` / ``--trace-out`` after the targets ran.
+def _finish(context, flags, trace_out, target, reports=(),
+            profile_payload=None, ledger=None):
+    """Handle ``--metrics`` / ``--ledger`` / ``--trace-out`` after the run.
 
-    The trace-written notice goes to stderr so experiment stdout (the
-    tables the determinism tests byte-compare) is untouched.
+    The ledger-recorded and trace-written notices go to stderr so
+    experiment stdout (the tables the determinism tests byte-compare) is
+    untouched. The run record is written first so the trace export can be
+    stamped with its run id.
     """
     if "--metrics" in flags:
         print()
         print(render_metrics_snapshot(global_snapshot(context.cache)))
+    run_id = None
+    if ledger is not None:
+        from ..obs.ledger import build_run_record, build_timing
+
+        record = build_run_record(
+            reports,
+            kind="bench",
+            target=target,
+            seed=context.seed,
+            config=DEFAULT_CONFIG,
+            knowledge_sets=context._knowledge,
+            faults=context.fault_config,
+        )
+        timing = build_timing(
+            context.trace_sink or (), profile=profile_payload
+        )
+        run_id = ledger.record_run(
+            record, timing=timing, meta={"target": target}
+        )
+        print(
+            f"recorded run {run_id} -> {ledger.run_dir(run_id)}",
+            file=sys.stderr,
+        )
     if trace_out is not None:
+        meta = {"target": target, "seed": context.seed}
+        if run_id is not None:
+            meta["run_id"] = run_id
         count = write_trace(
             trace_out,
             context.trace_sink or [],
             metrics=global_snapshot(context.cache),
-            meta={"target": target, "seed": context.seed},
+            meta=meta,
         )
         print(
             f"wrote {count} span(s) + metrics snapshot to {trace_out}",
@@ -758,4 +881,6 @@ def _finish(context, flags, trace_out, target):
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    from ..cli import _safe_main
+
+    raise SystemExit(_safe_main(main))

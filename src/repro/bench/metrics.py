@@ -78,6 +78,19 @@ class QuestionOutcome:
     error: str = ""
     #: Optional operators that failed soft during generation (resilience).
     degraded: tuple = ()
+    #: The question's natural-language text (lets ledger consumers — e.g.
+    #: regression baselining — match outcomes without the workload).
+    question_text: str = ""
+    #: Error-level diagnostic codes (``GE0xx``) on the final SQL.
+    lint_codes: tuple = ()
+    #: Self-correction attempts recorded during generation.
+    attempts: int = 0
+    #: ((operator, output digest), ...) in execution order — the run
+    #: ledger's first-divergence trail (see ``repro.pipeline.base``).
+    operator_digests: tuple = ()
+    #: One ``(operator, model, input_tokens, output_tokens, cost_usd)``
+    #: tuple per LLM call of the run (the ledger's accounting source).
+    llm_calls: tuple = ()
 
 
 @dataclass
@@ -86,6 +99,8 @@ class EvaluationReport:
 
     system: str
     outcomes: list = field(default_factory=list)
+    #: Stamped by the harness when the run was persisted to a ledger.
+    run_id: str = ""
 
     def add(self, outcome):
         self.outcomes.append(outcome)

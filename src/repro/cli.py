@@ -12,6 +12,10 @@ within an analytics engine" (§1, §4.2). This CLI is that thin engine:
     python -m repro knowledge sports_holdings      # knowledge-set overview
     python -m repro bench table1 [--metrics] [--trace-out run.jsonl]
     python -m repro bench table1 --faults 0.2:7   # chaos run (§6c)
+    python -m repro bench table1 --ledger          # persist a run record (§6d)
+    python -m repro runs [list|show RUN|gc]        # browse the run ledger
+    python -m repro diff RUN_A RUN_B               # EX flips + cost deltas
+    python -m repro triage RUN                     # cluster a run's failures
 
 Databases are the six benchmark profiles; their knowledge sets are mined
 on first use from the benchmark's training logs and documents.
@@ -32,6 +36,27 @@ from .knowledge.library import KnowledgeLibrary
 from .knowledge.versioning import KnowledgeSetHistory
 from .pipeline.pipeline import GenEditPipeline
 from .sql import format_sql, parse
+
+
+def _safe_main(func, *args, **kwargs):
+    """Run a CLI entry point, exiting cleanly when the output pipe closes.
+
+    Every subcommand funnels through this wrapper (and so does ``python -m
+    repro.bench.harness``): a downstream ``head``/pager closing stdout
+    mid-print becomes a clean exit 0 instead of a traceback, and stdout is
+    re-pointed at devnull so interpreter shutdown does not complain.
+    """
+    try:
+        return func(*args, **kwargs)
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _open_ledger(args):
+    from .obs.ledger import RunLedger
+
+    return RunLedger(getattr(args, "ledger_dir", None))
 
 
 def _load(database_name, seed=7):
@@ -95,6 +120,50 @@ def cmd_ask(args, out=sys.stdout):
             f"wrote {count} span(s) + metrics snapshot to {args.trace_out}",
             file=out,
         )
+    if getattr(args, "ledger", False):
+        from .bench.metrics import EvaluationReport, QuestionOutcome
+        from .obs.ledger import build_run_record, build_timing
+
+        # A one-question run record; "correct" records generation success
+        # (ask has no gold SQL to check against).
+        report = EvaluationReport(system="ask")
+        report.add(QuestionOutcome(
+            question_id="ask-1",
+            difficulty="",
+            database=args.database,
+            correct=bool(result.success),
+            predicted_sql=result.sql,
+            gold_sql="",
+            cost_usd=result.cost_usd,
+            latency_ms=result.latency_ms,
+            lint_caught=result.context.lint_caught,
+            execution_caught=result.context.execution_caught,
+            error="" if result.success
+            else (result.error or "generation failed"),
+            degraded=result.degraded_operators,
+            question_text=args.question,
+            attempts=len(result.context.attempts),
+            operator_digests=result.operator_digests,
+            llm_calls=tuple(
+                (call.operator, call.model, call.input_tokens,
+                 call.output_tokens, round(call.cost_usd, 10))
+                for call in result.context.meter.calls
+            ),
+        ))
+        ledger = _open_ledger(args)
+        run_id = ledger.record_run(
+            build_run_record(
+                [report], kind="ask", target=args.database,
+                seed=args.seed, config=pipeline.config,
+                knowledge_sets={args.database: knowledge},
+            ),
+            timing=build_timing(result.trace_records()),
+            meta={"question": args.question},
+        )
+        print(
+            f"recorded run {run_id} -> {ledger.run_dir(run_id)}",
+            file=out,
+        )
     return 0 if result.success else 1
 
 
@@ -126,8 +195,20 @@ def cmd_solve(args, out=sys.stdout, input_fn=input):
         GoldenQuery(entry.question, entry.sql)
         for entry in workload.training_logs[args.database][:4]
     ]
+    baseline_record = None
+    if getattr(args, "baseline", None):
+        try:
+            baseline_record = _open_ledger(args).read_record(args.baseline)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=out)
+            return 2
+        print(
+            f"regression baseline: run {baseline_record['run_id']}",
+            file=out,
+        )
     solver = FeedbackSolver(pipeline, golden_queries=golden,
-                            approval_queue=queue)
+                            approval_queue=queue,
+                            baseline_record=baseline_record)
     print(
         "Feedback Solver. Commands: ask <question> | feedback <text> | "
         "stage | regen | submit | approve | library | quit",
@@ -247,6 +328,143 @@ def cmd_trace(args, out=sys.stdout):
     return 0
 
 
+def cmd_runs(args, out=sys.stdout):
+    """Browse the run ledger: list recorded runs, show one, or gc."""
+    from .bench.harness import format_table
+    from .obs.ledger import render_triage, triage_record
+
+    ledger = _open_ledger(args)
+    if args.action == "gc":
+        removed = ledger.gc(keep=args.keep)
+        print(
+            f"removed {len(removed)} run(s), kept "
+            f"{len(ledger.run_ids())}",
+            file=out,
+        )
+        return 0
+    if args.action == "show":
+        if not args.run:
+            print("error: 'runs show' needs a RUN id", file=out)
+            return 2
+        record = ledger.read_record(args.run)
+        meta = ledger.read_meta(args.run)
+        print(f"run {record['run_id']}", file=out)
+        print(
+            f"  created: {meta.get('created_at', '?')}  kind: "
+            f"{record['kind']}  target: {record['target']}  "
+            f"seed: {record['seed']}",
+            file=out,
+        )
+        print(
+            f"  config fingerprint: {record['config_fingerprint']}",
+            file=out,
+        )
+        for name, entry in record.get("knowledge", {}).items():
+            print(
+                f"  knowledge[{name}]: {entry['fingerprint']} "
+                f"{entry['stats']}",
+                file=out,
+            )
+        rows = [
+            (name, entry["ex"]["all"], entry["correct"],
+             entry["questions"], entry["cost_usd"], entry["degraded"],
+             entry["errors"])
+            for name, entry in record.get("systems", {}).items()
+        ]
+        if rows:
+            print(format_table(
+                "systems",
+                ["System", "EX", "Correct", "Questions", "Cost ($)",
+                 "Degraded", "Errors"],
+                rows,
+            ), file=out)
+        accounting = record.get("accounting", {})
+        operator_rows = [
+            (operator, bucket["calls"], bucket["input_tokens"],
+             bucket["output_tokens"], bucket["cost_usd"])
+            for operator, bucket in accounting.get(
+                "by_operator", {}
+            ).items()
+        ]
+        if operator_rows:
+            print(format_table(
+                "cost/token accounting (per operator)",
+                ["Operator", "Calls", "In tok", "Out tok", "Cost ($)"],
+                operator_rows,
+                precision=6,
+            ), file=out)
+        model_rows = [
+            (model, bucket["calls"], bucket["input_tokens"],
+             bucket["output_tokens"], bucket["cost_usd"])
+            for model, bucket in accounting.get("by_model", {}).items()
+        ]
+        if model_rows:
+            print(format_table(
+                "cost/token accounting (per model)",
+                ["Model", "Calls", "In tok", "Out tok", "Cost ($)"],
+                model_rows,
+                precision=6,
+            ), file=out)
+        if args.triage:
+            print(render_triage(triage_record(record)), file=out)
+        return 0
+    runs = ledger.list_runs()
+    if not runs:
+        print(f"no runs recorded under {ledger.root}", file=out)
+        return 1
+    rows = [
+        (entry["run_id"], entry["created_at"], entry["kind"],
+         entry["target"], entry["systems"], entry["questions"],
+         "-" if entry["ex_all"] is None else entry["ex_all"],
+         entry["cost_usd"])
+        for entry in runs
+    ]
+    print(format_table(
+        f"run ledger ({ledger.root})",
+        ["Run", "Created", "Kind", "Target", "Systems", "Questions",
+         "GenEdit EX", "Cost ($)"],
+        rows,
+    ), file=out)
+    return 0
+
+
+def cmd_diff(args, out=sys.stdout):
+    """Diff two ledger runs: EX flips, first divergence, cost deltas."""
+    from .obs.ledger import diff_records, render_diff
+
+    ledger = _open_ledger(args)
+    if args.latest and not (args.run_a and args.run_b):
+        run_a, run_b = "latest~1", "latest"
+    elif args.run_a and args.run_b:
+        run_a, run_b = args.run_a, args.run_b
+    else:
+        print("error: diff needs RUN_A RUN_B (or --latest)", file=out)
+        return 2
+    try:
+        record_a = ledger.read_record(run_a)
+        record_b = ledger.read_record(run_b)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=out)
+        return 2
+    diff = diff_records(record_a, record_b)
+    print(render_diff(diff, show_sql=args.sql), file=out)
+    return 1 if diff["flips"] else 0
+
+
+def cmd_triage(args, out=sys.stdout):
+    """Cluster one run's failures by the resilience error taxonomy."""
+    from .obs.ledger import render_triage, triage_record
+
+    ledger = _open_ledger(args)
+    try:
+        record = ledger.read_record(args.run)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=out)
+        return 2
+    print(render_triage(triage_record(record, top=args.top)), file=out)
+    return 0
+
+
 def cmd_bench(args, out=sys.stdout):
     from .bench.harness import main as harness_main
 
@@ -261,6 +479,12 @@ def cmd_bench(args, out=sys.stdout):
         argv.extend(["--trace-out", args.trace_out])
     if args.faults:
         argv.extend(["--faults", args.faults])
+    if args.ledger:
+        argv.append("--ledger")
+    if args.no_ledger:
+        argv.append("--no-ledger")
+    if args.ledger_dir:
+        argv.extend(["--ledger-dir", args.ledger_dir])
     return harness_main(argv)
 
 
@@ -285,6 +509,14 @@ def build_arg_parser():
         "--trace-out", dest="trace_out", metavar="PATH", default=None,
         help="export the run's spans + metrics snapshot as JSONL "
              "(inspect with 'repro trace PATH')",
+    )
+    ask.add_argument(
+        "--ledger", action="store_true",
+        help="persist this run as a ledger record (see 'repro runs')",
+    )
+    ask.add_argument(
+        "--ledger-dir", dest="ledger_dir", metavar="PATH", default=None,
+        help="ledger root (default .repro/runs, or $REPRO_LEDGER_DIR)",
     )
     ask.set_defaults(func=cmd_ask)
 
@@ -323,7 +555,77 @@ def build_arg_parser():
         "solve", help="interactive feedback solver session"
     )
     solve.add_argument("database")
+    solve.add_argument(
+        "--baseline", metavar="RUN", default=None,
+        help="ledger run whose outcomes baseline the submission's "
+             "regression tests (accepts a run id, prefix, or 'latest')",
+    )
+    solve.add_argument(
+        "--ledger-dir", dest="ledger_dir", metavar="PATH", default=None,
+        help="ledger root (default .repro/runs, or $REPRO_LEDGER_DIR)",
+    )
     solve.set_defaults(func=cmd_solve)
+
+    runs = commands.add_parser(
+        "runs", help="browse the run ledger (list / show / gc)"
+    )
+    runs.add_argument(
+        "action", nargs="?", default="list",
+        choices=["list", "show", "gc"],
+    )
+    runs.add_argument(
+        "run", nargs="?", default=None,
+        help="run id, unique prefix, or 'latest' (for 'show')",
+    )
+    runs.add_argument(
+        "--ledger-dir", dest="ledger_dir", metavar="PATH", default=None,
+        help="ledger root (default .repro/runs, or $REPRO_LEDGER_DIR)",
+    )
+    runs.add_argument(
+        "--keep", type=int, default=20,
+        help="runs to retain on 'gc' (default 20)",
+    )
+    runs.add_argument(
+        "--triage", action="store_true",
+        help="append the failure-triage section to 'show'",
+    )
+    runs.set_defaults(func=cmd_runs)
+
+    diff = commands.add_parser(
+        "diff", help="diff two ledger runs (EX flips, cost/latency deltas)"
+    )
+    diff.add_argument("run_a", nargs="?", default=None)
+    diff.add_argument("run_b", nargs="?", default=None)
+    diff.add_argument(
+        "--latest", action="store_true",
+        help="diff the two most recent runs (RUN_A/RUN_B omitted)",
+    )
+    diff.add_argument(
+        "--sql", action="store_true",
+        help="show before/after SQL for every flipped question",
+    )
+    diff.add_argument(
+        "--ledger-dir", dest="ledger_dir", metavar="PATH", default=None,
+        help="ledger root (default .repro/runs, or $REPRO_LEDGER_DIR)",
+    )
+    diff.set_defaults(func=cmd_diff)
+
+    triage = commands.add_parser(
+        "triage", help="cluster a run's failures by error taxonomy"
+    )
+    triage.add_argument(
+        "run", nargs="?", default="latest",
+        help="run id, unique prefix, or 'latest' (the default)",
+    )
+    triage.add_argument(
+        "--top", type=int, default=5,
+        help="worst-cost / slowest questions to list (default 5)",
+    )
+    triage.add_argument(
+        "--ledger-dir", dest="ledger_dir", metavar="PATH", default=None,
+        help="ledger root (default .repro/runs, or $REPRO_LEDGER_DIR)",
+    )
+    triage.set_defaults(func=cmd_triage)
 
     bench = commands.add_parser("bench", help="run a paper experiment")
     bench.add_argument(
@@ -353,6 +655,20 @@ def build_arg_parser():
              "garbled outputs) at RATE into every pipeline — chaos testing "
              "for the resilience layer (DESIGN.md §6c)",
     )
+    bench.add_argument(
+        "--ledger", action="store_true",
+        help="persist the invocation as a run record under .repro/runs "
+             "(DESIGN.md §6d); inspect with 'repro runs|diff|triage'",
+    )
+    bench.add_argument(
+        "--no-ledger", dest="no_ledger", action="store_true",
+        help="force the ledger off (overrides --ledger)",
+    )
+    bench.add_argument(
+        "--ledger-dir", dest="ledger_dir", metavar="PATH", default=None,
+        help="ledger root (default .repro/runs, or $REPRO_LEDGER_DIR); "
+             "implies --ledger",
+    )
     bench.set_defaults(func=cmd_bench)
     return parser
 
@@ -360,13 +676,9 @@ def build_arg_parser():
 def main(argv=None):
     parser = build_arg_parser()
     args = parser.parse_args(argv)
-    try:
-        return args.func(args)
-    except BrokenPipeError:
-        # Downstream pager/grep closed the pipe (e.g. `repro trace | head`).
-        # Point stdout at devnull so interpreter shutdown doesn't complain.
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        return 0
+    # Every subcommand is BrokenPipe-safe: `repro runs | head` and friends
+    # exit cleanly instead of tracebacking when the pager closes the pipe.
+    return _safe_main(args.func, args)
 
 
 if __name__ == "__main__":

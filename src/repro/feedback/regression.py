@@ -11,6 +11,12 @@ codes the staged pipeline's SQL introduces over the live pipeline's
 generation toward broken SQL even when execution accuracy happens to
 survive. Lint flags are advisory: they do not affect :attr:`RegressionReport.passed`,
 which the review queue gates on.
+
+When a *baseline* run record from the ledger (DESIGN.md §6d) is supplied,
+the "before" side is read straight out of the record for every golden
+query the baseline already evaluated: recorded correctness and lint codes
+stand in for a fresh live-pipeline generation, the live pipeline is built
+lazily only for baseline misses, and the report cites the baseline run id.
 """
 
 from __future__ import annotations
@@ -57,6 +63,10 @@ class RegressionResult:
 @dataclass
 class RegressionReport:
     results: list = field(default_factory=list)
+    #: Ledger run id the "before" side was read from ("" = live pipeline).
+    baseline_run_id: str = ""
+    #: Golden queries whose before-state came from the baseline record.
+    baseline_hits: int = 0
 
     @property
     def passed(self):
@@ -86,11 +96,16 @@ class RegressionReport:
         flagged = len(self.lint_flags)
         if flagged:
             line += f", {flagged} lint flag(s)"
+        if self.baseline_run_id:
+            line += (
+                f" [baseline run {self.baseline_run_id}: "
+                f"{self.baseline_hits} reused]"
+            )
         return line
 
 
 def run_regression(database, live_knowledge, staged_knowledge,
-                   golden_queries, config=None, tracer=None):
+                   golden_queries, config=None, tracer=None, baseline=None):
     """Compare golden-query accuracy before/after the staged edits.
 
     The run is traced: a ``regression`` root span with one
@@ -98,26 +113,55 @@ def run_regression(database, live_knowledge, staged_knowledge,
     regressed/improved and any new lint codes) lands on ``tracer`` — the
     feedback solver passes its session tracer; standalone calls get a
     private one.
+
+    ``baseline`` is an optional ledger run record (the dict shape of
+    ``record.json``): golden queries the baseline already evaluated reuse
+    its recorded correctness and lint codes for the "before" side, so the
+    live pipeline only runs for baseline misses — and the report names the
+    run it was compared against.
     """
-    before = GenEditPipeline(database, live_knowledge, config=config)
+    baseline_outcomes = {}
+    baseline_run_id = ""
+    if baseline is not None:
+        from ..obs.ledger import outcomes_by_question
+
+        baseline_outcomes = outcomes_by_question(baseline)
+        baseline_run_id = baseline.get("run_id", "")
+    before = None
+
+    def before_pipeline():
+        # Built lazily: with a full-coverage baseline it never exists.
+        nonlocal before
+        if before is None:
+            before = GenEditPipeline(database, live_knowledge, config=config)
+        return before
+
     after = GenEditPipeline(database, staged_knowledge, config=config)
     engine = DiagnosticsEngine(database)
-    report = RegressionReport()
+    report = RegressionReport(baseline_run_id=baseline_run_id)
     tracer = tracer or Tracer()
     with tracer.span("regression", golden=len(golden_queries)) as root:
         for golden in golden_queries:
             with tracer.span(
                 "regression.golden", question=golden.question
             ) as span:
-                result_before = before.generate(golden.question)
+                recorded = baseline_outcomes.get(golden.question)
+                if recorded is not None:
+                    report.baseline_hits += 1
+                    span.set_attr("baseline", baseline_run_id)
+                    correct_before = bool(recorded["correct"])
+                    codes_before = set(recorded.get("lint_codes", ()))
+                else:
+                    result_before = before_pipeline().generate(golden.question)
+                    correct_before = execution_match(
+                        database, result_before.sql, golden.gold_sql
+                    )
+                    codes_before = _error_codes(engine, result_before.sql)
                 result_after = after.generate(golden.question)
-                codes_before = _error_codes(engine, result_before.sql)
                 codes_after = _error_codes(engine, result_after.sql)
                 result = RegressionResult(
                     question=golden.question,
-                    correct_before=execution_match(
-                        database, result_before.sql, golden.gold_sql
-                    ),
+                    correct_before=correct_before,
                     correct_after=execution_match(
                         database, result_after.sql, golden.gold_sql
                     ),
@@ -135,6 +179,8 @@ def run_regression(database, live_knowledge, staged_knowledge,
     metrics.inc("regression.runs")
     metrics.inc("regression.regressions", len(report.regressions))
     metrics.inc("regression.improvements", len(report.improvements))
+    if report.baseline_hits:
+        metrics.inc("regression.baseline_hits", report.baseline_hits)
     return report
 
 

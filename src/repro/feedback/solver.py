@@ -33,11 +33,16 @@ class FeedbackSolver:
     """One SME session over a deployed pipeline."""
 
     def __init__(self, pipeline: GenEditPipeline, golden_queries=(),
-                 approval_queue=None, author="sme", tracer=None):
+                 approval_queue=None, author="sme", tracer=None,
+                 baseline_record=None):
         self.pipeline = pipeline
         self.golden_queries = list(golden_queries)
         self.approval_queue = approval_queue
         self.author = author
+        #: Optional ledger run record (DESIGN.md §6d): regression testing
+        #: reuses its recorded outcomes as the "before" side and cites the
+        #: baseline run id in the regression report.
+        self.baseline_record = baseline_record
         #: Session-level tracer: the four recommendation operators and the
         #: submission's regression run record timed spans here.
         self.tracer = tracer or Tracer()
@@ -170,6 +175,7 @@ class FeedbackSolver:
             self.golden_queries,
             config=self.pipeline.config,
             tracer=self.tracer,
+            baseline=self.baseline_record,
         )
         submission = Submission(
             feedback=self.feedback,

@@ -10,13 +10,32 @@ any further performance work can be trusted:
   counters, gauges, and bounded-memory histograms (p50/p90/p99 over fixed
   buckets);
 * :mod:`repro.obs.render` — JSONL trace export/import and the span-tree /
-  rollup renderer behind ``python -m repro trace``.
+  rollup renderer behind ``python -m repro trace``;
+* :mod:`repro.obs.ledger` — the persistent run ledger (versioned run
+  records under ``.repro/runs/``), run-to-run diffing with
+  first-divergence attribution, cost/token accounting, and failure
+  triage, behind ``python -m repro runs|diff|triage``.
 
 Nothing in this package imports the rest of the repo (one lazily-imported
 cache accessor aside), so any module — parser, engine, pipeline, harness —
 can instrument itself without import cycles.
 """
 
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    build_run_record,
+    build_timing,
+    config_fingerprint,
+    diff_records,
+    first_divergence,
+    golden_queries_from_record,
+    knowledge_fingerprint,
+    outcomes_by_question,
+    render_diff,
+    render_triage,
+    triage_record,
+)
 from .metrics import (
     DEFAULT_BUCKETS_MS,
     METRICS,
@@ -44,21 +63,34 @@ from .tracing import (
 
 __all__ = [
     "DEFAULT_BUCKETS_MS",
+    "LEDGER_SCHEMA_VERSION",
     "METRICS",
     "METRICS_SCHEMA_VERSION",
     "Histogram",
     "MetricsRegistry",
+    "RunLedger",
     "Span",
     "SpanEvent",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
     "build_forest",
+    "build_run_record",
+    "build_timing",
+    "config_fingerprint",
     "current_span",
+    "diff_records",
+    "first_divergence",
     "get_metrics",
     "global_snapshot",
+    "golden_queries_from_record",
+    "knowledge_fingerprint",
     "load_trace",
+    "outcomes_by_question",
+    "render_diff",
     "render_metrics_snapshot",
     "render_span_tree",
     "render_trace_payload",
+    "render_triage",
+    "triage_record",
     "write_trace",
 ]

@@ -16,6 +16,7 @@ architecture; ``python -m repro trace`` renders the timed tree).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from ..llm.interface import CallMeter
@@ -92,6 +93,9 @@ class PipelineContext:
     #: (operator name, reason) per optional operator that failed soft
     #: (see DESIGN.md §6c's degradation matrix).
     degraded_operators: list = field(default_factory=list)
+    #: (operator name, output digest) in execution order — the ledger's
+    #: first-divergence trail (see :func:`operator_output_digest`).
+    operator_digests: list = field(default_factory=list)
     #: Name of the required operator whose failure ended the run ("" if
     #: the run reached the final check).
     failed_operator: str = ""
@@ -133,6 +137,45 @@ class Operator:
         raise NotImplementedError
 
 
+#: Canonical per-operator output: the context state the operator owns, as a
+#: deterministic payload. Digesting these lets the run ledger attribute a
+#: run-to-run divergence to the first operator whose output changed
+#: (``python -m repro diff``, DESIGN.md §6d). Unknown operator names fall
+#: back to the final SQL, the one output every pipeline produces.
+_DIGEST_PAYLOADS = {
+    "reformulate": lambda c: c.reformulated,
+    "classify_intents": lambda c: tuple(c.intent_ids),
+    "select_examples": lambda c: tuple(
+        getattr(example, "example_id", repr(example))
+        for example in c.examples
+    ),
+    "select_instructions": lambda c: tuple(
+        getattr(instruction, "instruction_id", repr(instruction))
+        for instruction in c.instructions
+    ),
+    "link_schema": lambda c: tuple(
+        getattr(element, "element_id", repr(element))
+        for element in c.schema_elements
+    ),
+    "plan": lambda c: c.plan.render() if c.plan is not None else "",
+    "generate_sql": lambda c: (tuple(c.candidates), c.sql),
+    "self_correct": lambda c: (c.sql, tuple(c.attempts)),
+}
+
+
+def operator_output_digest(name, context):
+    """12-hex-char blake2b digest of operator ``name``'s canonical output.
+
+    Stable across processes for a deterministic run (ids, rendered plans,
+    and SQL strings only — no timings, no object identities), so two run
+    records can be compared digest-by-digest.
+    """
+    payload = _DIGEST_PAYLOADS.get(name, lambda c: (c.sql,))(context)
+    return hashlib.blake2b(
+        repr((name, payload)).encode("utf-8"), digest_size=6
+    ).hexdigest()
+
+
 @dataclass
 class GenerationResult:
     """Outcome of one pipeline run."""
@@ -160,6 +203,11 @@ class GenerationResult:
     def failed_operator(self):
         """The required operator whose failure ended the run ("" if none)."""
         return self.context.failed_operator
+
+    @property
+    def operator_digests(self):
+        """((operator, digest), ...) in execution order for run diffing."""
+        return tuple(self.context.operator_digests)
 
     @property
     def latency_ms(self):

@@ -32,7 +32,7 @@ from ..resilience import (
     ResilientLLM,
 )
 from ..sql.errors import SqlError
-from .base import GenerationResult, PipelineContext
+from .base import GenerationResult, PipelineContext, operator_output_digest
 from .config import DEFAULT_CONFIG
 from .correction import SelfCorrectionOperator
 from .examples import ExampleSelectionOperator
@@ -179,6 +179,14 @@ class GenEditPipeline:
                             failure_text = f"{operator.name}: {reason}"
                             span.status = "error"
                             span.error = reason
+                    if not context.failed_operator:
+                        # Digest the operator's (possibly degraded) output
+                        # for the run ledger's first-divergence attribution.
+                        digest = operator_output_digest(operator.name, context)
+                        span.set_attr("digest", digest)
+                        context.operator_digests.append(
+                            (operator.name, digest)
+                        )
                 metrics.observe(
                     "pipeline.operator_ms", span.duration_ms,
                     operator=operator.name,

@@ -27,6 +27,7 @@ from .faults import (
 )
 from .policy import (
     DEFAULT_RETRY_POLICY,
+    FAILURE_CATEGORIES,
     FATAL,
     RETRYABLE,
     CircuitBreaker,
@@ -38,6 +39,7 @@ from .policy import (
     RetryPolicy,
     TransientError,
     TransientLLMError,
+    categorize_failure,
     classify_error,
     stable_unit,
 )
@@ -47,6 +49,7 @@ __all__ = [
     "CircuitBreaker",
     "CircuitOpenError",
     "DEFAULT_RETRY_POLICY",
+    "FAILURE_CATEGORIES",
     "FATAL",
     "FAULT_ERROR",
     "FAULT_GARBLE",
@@ -67,6 +70,7 @@ __all__ = [
     "TransientError",
     "TransientLLMError",
     "WRAPPED_LLM_METHODS",
+    "categorize_failure",
     "classify_error",
     "stable_unit",
     "unwrap_llm",

@@ -90,6 +90,61 @@ def classify_error(error, extra_retryable=()):
     return FATAL
 
 
+#: Failure-triage categories keyed by rendered exception type name. This is
+#: the text-side mirror of :func:`classify_error` for consumers that only
+#: have a recorded outcome's ``error`` string (the run ledger's ``python -m
+#: repro triage``): outcome errors are rendered as ``Type: message`` by the
+#: harness and ``operator: Type: message`` by the pipeline's required-
+#: operator failure path.
+FAILURE_CATEGORIES = {
+    "TransientLLMError": "llm-transient",
+    "ConnectionError": "llm-transient",
+    "BrokenPipeError": "llm-transient",
+    "LLMTimeoutError": "llm-timeout",
+    "TimeoutError": "llm-timeout",
+    "FatalLLMError": "llm-fatal",
+    "CircuitOpenError": "circuit-open",
+    "RetriesExhaustedError": "retries-exhausted",
+    "InjectedExecutionError": "execution",
+    "ExecutionError": "execution",
+    "SqlError": "sql-invalid",
+    "ParseError": "sql-invalid",
+    "AssertionError": "harness",
+}
+
+
+def categorize_failure(error_text):
+    """Map an outcome's rendered ``error`` onto the resilience taxonomy.
+
+    Recognised shapes: ``"result mismatch"`` / ``"no SQL generated"`` /
+    ``"generation failed"`` (the harness's clean-failure texts),
+    ``"Type: message"`` (worker exceptions),
+    ``"operator: Type: message"`` (required-operator failures, where the
+    type name is the second segment), and the bare parser/executor
+    messages the final check records without a type name (``"Unknown
+    column ..."``, ``"Expected ..."``, ...). Anything else falls into
+    ``"other"``. Empty text (a correct outcome) maps to ``"none"``.
+    """
+    text = (error_text or "").strip()
+    if not text:
+        return "none"
+    if text == "result mismatch":
+        return "wrong-result"
+    if text in ("no SQL generated", "generation failed"):
+        return "no-sql"
+    for segment in text.split(": ", 2)[:2]:
+        category = FAILURE_CATEGORIES.get(segment)
+        if category is not None:
+            return category
+    # Final-check errors carry only the message, not the exception type:
+    # recognise the parser's and executor's well-known openings.
+    if text.startswith(("Expected ", "Unexpected ", "Unterminated ")):
+        return "sql-invalid"
+    if text.startswith(("Unknown ", "Ambiguous ", "Aggregate ", "Division ")):
+        return "execution"
+    return "other"
+
+
 # -- retry policy -----------------------------------------------------------
 
 
