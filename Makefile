@@ -11,14 +11,17 @@
 #                   must still produce an outcome and retries must register
 #   make ledger-smoke - record the same bench run twice into a scratch
 #                   ledger; repro diff must find zero flips (determinism)
+#   make perf-smoke - columnar micro-ops vs the row oracle; fails if any
+#                   executor op drops below the 1.5x speedup gate
 #   make bench    - regenerate the paper tables
 
 PYTHON ?= python
 
 .PHONY: lint compile test lint-corpus trace-smoke chaos-smoke ledger-smoke \
-	bench
+	perf-smoke bench
 
-lint: compile test lint-corpus trace-smoke chaos-smoke ledger-smoke
+lint: compile test lint-corpus trace-smoke chaos-smoke ledger-smoke \
+	perf-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -53,6 +56,10 @@ ledger-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro diff --latest \
 		--ledger-dir /tmp/repro-ledger-smoke > /tmp/repro-ledger-smoke.txt
 	grep -q "total: 0 flip(s)" /tmp/repro-ledger-smoke.txt
+
+perf-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_columnar_micro.py \
+		-q -s -p no:cacheprovider
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench all

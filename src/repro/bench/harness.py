@@ -53,7 +53,7 @@ from .schemas import DEFAULT_SEED, build_all
 
 #: Version stamp for the ``profile --json`` payload (see BENCH_baseline.json).
 #: v2 added the ``diagnostics`` section (lint_caught / execution_caught).
-PROFILE_SCHEMA_VERSION = 2
+PROFILE_SCHEMA_VERSION = 3
 
 
 def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
@@ -636,8 +636,19 @@ def profile(context=None, limit=None, verbose=True, as_json=False):
     cache). ``limit`` restricts the run to the first N questions.
 
     Returns the profile dict; with ``as_json`` the payload printed is JSON
-    (the committed ``BENCH_baseline.json`` is one such snapshot).
+    (the committed ``BENCH_baseline.json`` and ``BENCH_columnar.json`` are
+    such snapshots).
+
+    Schema v3 adds an ``engine`` section: time in the logical-rewrite and
+    closure-compile phases, columnar-vs-row-fallback select counts, hash
+    vs nested-loop join counts, and compiled-predicate cache statistics.
+    v2 payloads (no ``engine`` key) still load everywhere profiles are
+    consumed — readers treat the section as optional.
     """
+    from ..engine.stats import engine_snapshot, publish_engine_gauges, \
+        reset_engine_stats
+
+    reset_engine_stats()
     context = context or ExperimentContext()
     knowledge_sets = context.knowledge_sets  # forces build + mine timings
     questions = context.workload.questions
@@ -688,6 +699,7 @@ def profile(context=None, limit=None, verbose=True, as_json=False):
         "generate": round(generate_s, 4),
         "execute": round(execute_s, 4),
     }
+    publish_engine_gauges()
     payload = {
         "schema_version": PROFILE_SCHEMA_VERSION,
         "seed": context.seed,
@@ -696,6 +708,7 @@ def profile(context=None, limit=None, verbose=True, as_json=False):
         if questions else 0.0,
         "stages": stages,
         "total_s": round(sum(stages.values()), 4),
+        "engine": engine_snapshot(),
         "cache": context.cache.stats(),
         "diagnostics": {
             "lint_caught": sum(

@@ -11,12 +11,19 @@ from .errors import (
 )
 from .executor import Executor, Result, execute_sql
 from .explain import explain
+from .stats import (
+    ENGINE_STATS,
+    engine_snapshot,
+    publish_engine_gauges,
+    reset_engine_stats,
+)
 from .table import Column, Table, TableProfile, profile_table
 
 __all__ = [
     "AmbiguousColumnError",
     "Column",
     "Database",
+    "ENGINE_STATS",
     "ExecutionError",
     "Executor",
     "Result",
@@ -26,7 +33,10 @@ __all__ = [
     "UnknownColumnError",
     "UnknownFunctionError",
     "UnknownTableError",
+    "engine_snapshot",
     "execute_sql",
     "explain",
     "profile_table",
+    "publish_engine_gauges",
+    "reset_engine_stats",
 ]

@@ -12,6 +12,7 @@ this module stays free of relational logic.
 
 from __future__ import annotations
 
+import datetime
 import re
 
 from ..sql import ast_nodes as ast
@@ -360,3 +361,519 @@ def find_window_functions(node):
     for child in node.children():
         found.extend(find_window_functions(child))
     return found
+
+
+# ---------------------------------------------------------------------------
+# Vectorized evaluation
+# ---------------------------------------------------------------------------
+#
+# The columnar executor compiles an expression once per (schema, expression)
+# into a closure ``fn(ctx, sel) -> values`` that evaluates the expression for
+# every row index in ``sel`` against a ColumnarRelation, instead of walking
+# the AST per row through an Environment chain.
+#
+# Correctness contract: for any selection the closure performs exactly the
+# same set of per-row sub-computations the row evaluator would (AND/OR/CASE/
+# IN narrow their active rows the way short-circuiting does), so it produces
+# the same values and raises on exactly the same inputs — possibly with a
+# different message/first-row, which the executor papers over by re-running
+# the row path whenever the vector path raises. Anything whose semantics
+# cannot be batched (window functions, subqueries, ambiguous or unresolvable
+# columns, aggregates outside a bound group context) raises
+# :class:`VectorFallback` at compile time.
+
+
+class VectorFallback(Exception):
+    """Raised at compile time when an expression cannot be vectorized."""
+
+
+class VectorContext:
+    """Runtime inputs to a compiled closure.
+
+    ``relation`` supplies column arrays; ``outer_env`` resolves correlated
+    references (fixed for the whole batch); ``bound`` maps an aggregate
+    node's id to its precomputed per-row array in grouped pipelines.
+    """
+
+    __slots__ = ("relation", "outer_env", "bound")
+
+    def __init__(self, relation, outer_env=None, bound=None):
+        self.relation = relation
+        self.outer_env = outer_env
+        self.bound = bound
+
+
+def _vector_negate(value):
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        value = int(value)
+    if not isinstance(value, (int, float)):
+        raise TypeMismatchError(f"Cannot negate {value!r}")
+    return -value
+
+
+class _VectorCompiler:
+    """Compiles expression ASTs into batched closures over a fixed schema."""
+
+    def __init__(self, schema, has_outer, bound_ids=frozenset()):
+        self.bindings = [
+            (binding, frozenset(column.upper() for column in columns))
+            for binding, columns in schema
+        ]
+        self.has_outer = has_outer
+        self.bound_ids = bound_ids
+        self.cacheable = True
+
+    def compile(self, node):
+        method = self._DISPATCH.get(type(node))
+        if method is None:
+            raise VectorFallback(type(node).__name__)
+        return method(self, node)
+
+    # -- leaves --------------------------------------------------------------
+
+    def _literal(self, node):
+        value = node.value
+        return lambda ctx, sel: [value] * len(sel)
+
+    def _column(self, node):
+        name = node.name.upper()
+        if node.table is not None:
+            table = node.table.upper()
+            for binding, columns in self.bindings:
+                if binding == table:
+                    if name in columns:
+                        return self._gather(binding, name)
+                    # Legacy raises UnknownColumnError per row.
+                    raise VectorFallback(node.qualified())
+            return self._outer(node.table, node.name)
+        matches = [
+            binding for binding, columns in self.bindings if name in columns
+        ]
+        if len(matches) == 1:
+            return self._gather(matches[0], name)
+        if len(matches) > 1:
+            raise VectorFallback(node.name)  # ambiguous — row path raises
+        return self._outer(None, node.name)
+
+    def _gather(self, binding, name):
+        def run(ctx, sel):
+            array = ctx.relation.array(binding, name)
+            return [array[index] for index in sel]
+        return run
+
+    def _outer(self, table, name):
+        """A reference resolved outside the relation: constant per batch."""
+        if not self.has_outer:
+            raise VectorFallback(name)  # unknown column — row path raises
+
+        def run(ctx, sel):
+            if not sel:
+                return []
+            value = ctx.outer_env.lookup(table, name)
+            return [value] * len(sel)
+        return run
+
+    # -- operators -----------------------------------------------------------
+
+    def _unary(self, node):
+        operand = self.compile(node.operand)
+        if node.op == "NOT":
+            return lambda ctx, sel: [
+                logical_not(value) for value in operand(ctx, sel)
+            ]
+        if node.op == "-":
+            return lambda ctx, sel: [
+                _vector_negate(value) for value in operand(ctx, sel)
+            ]
+        # Unary plus: NULL-checking identity, exactly like the row path.
+        return operand
+
+    def _binary(self, node):
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        if node.op == "AND":
+            def run_and(ctx, sel):
+                left_values = left(ctx, sel)
+                active = [
+                    position for position, value in enumerate(left_values)
+                    if value is not False
+                ]
+                output = [False] * len(sel)
+                if active:
+                    narrowed = [sel[position] for position in active]
+                    right_values = right(ctx, narrowed)
+                    for position, value in zip(active, right_values):
+                        output[position] = logical_and(
+                            left_values[position], value
+                        )
+                return output
+            return run_and
+        if node.op == "OR":
+            def run_or(ctx, sel):
+                left_values = left(ctx, sel)
+                active = [
+                    position for position, value in enumerate(left_values)
+                    if value is not True
+                ]
+                output = [True] * len(sel)
+                if active:
+                    narrowed = [sel[position] for position in active]
+                    right_values = right(ctx, narrowed)
+                    for position, value in zip(active, right_values):
+                        output[position] = logical_or(
+                            left_values[position], value
+                        )
+                return output
+            return run_or
+        check = Evaluator._COMPARISONS.get(node.op)
+        if check is not None:
+            def run_compare(ctx, sel):
+                output = []
+                for left_value, right_value in zip(
+                    left(ctx, sel), right(ctx, sel)
+                ):
+                    # Same-class pairs (the overwhelmingly common case)
+                    # order exactly as compare()'s aligned comparison does;
+                    # everything else — NULLs, bools, cross-type coercions —
+                    # takes the general path. type() is an exact check, so
+                    # bools never slip into the int fast path.
+                    left_type = type(left_value)
+                    right_type = type(right_value)
+                    if (
+                        (left_type is int or left_type is float)
+                        and (right_type is int or right_type is float)
+                    ) or (
+                        left_type is right_type
+                        and (left_type is str or left_type is datetime.date)
+                    ):
+                        if left_value < right_value:
+                            ordering = -1
+                        elif left_value > right_value:
+                            ordering = 1
+                        else:
+                            ordering = 0
+                        output.append(check(ordering))
+                        continue
+                    ordering = compare(left_value, right_value)
+                    output.append(
+                        None if ordering is None else check(ordering)
+                    )
+                return output
+            return run_compare
+        op = node.op
+
+        def run_arith(ctx, sel):
+            return [
+                arithmetic(op, left_value, right_value)
+                for left_value, right_value in zip(
+                    left(ctx, sel), right(ctx, sel)
+                )
+            ]
+        return run_arith
+
+    # -- functions -----------------------------------------------------------
+
+    def _call(self, node):
+        if id(node) in self.bound_ids:
+            self.cacheable = False
+            node_id = id(node)
+
+            def run_bound(ctx, sel):
+                array = ctx.bound[node_id]
+                return [array[index] for index in sel]
+            return run_bound
+        name = node.name.upper()
+        if is_aggregate_function(name):
+            raise VectorFallback(name)  # aggregate outside a bound group
+        if not is_scalar_function(name):
+            raise VectorFallback(name)  # unknown — row path raises
+        arg_closures = [self.compile(arg) for arg in node.args]
+
+        def run_call(ctx, sel):
+            arg_values = [closure(ctx, sel) for closure in arg_closures]
+            if not arg_closures:
+                return [call_scalar(name, []) for _position in range(len(sel))]
+            # Registered scalars are pure, and column values repeat heavily
+            # (dates through TO_CHAR, codes through UPPER), so memoize per
+            # batch on the argument tuple; unhashable arguments call through.
+            memo = {}
+            output = []
+            for row_args in zip(*arg_values):
+                try:
+                    value = memo[row_args]
+                except TypeError:
+                    value = call_scalar(name, list(row_args))
+                except KeyError:
+                    value = call_scalar(name, list(row_args))
+                    memo[row_args] = value
+                output.append(value)
+            return output
+        return run_call
+
+    # -- compound expressions --------------------------------------------------
+
+    def _case(self, node):
+        operand = (
+            self.compile(node.operand) if node.operand is not None else None
+        )
+        whens = [
+            (self.compile(condition), self.compile(result))
+            for condition, result in node.whens
+        ]
+        default = (
+            self.compile(node.default) if node.default is not None else None
+        )
+
+        def run(ctx, sel):
+            output = [None] * len(sel)
+            operand_values = operand(ctx, sel) if operand is not None else None
+            undecided = list(range(len(sel)))
+            for condition, result in whens:
+                if not undecided:
+                    break
+                narrowed = [sel[position] for position in undecided]
+                condition_values = condition(ctx, narrowed)
+                taken = []
+                remaining = []
+                for position, value in zip(undecided, condition_values):
+                    if operand_values is not None:
+                        verdict = is_true(
+                            equals(operand_values[position], value)
+                        )
+                    else:
+                        verdict = is_true(value)
+                    (taken if verdict else remaining).append(position)
+                if taken:
+                    result_values = result(
+                        ctx, [sel[position] for position in taken]
+                    )
+                    for position, value in zip(taken, result_values):
+                        output[position] = value
+                undecided = remaining
+            if default is not None and undecided:
+                default_values = default(
+                    ctx, [sel[position] for position in undecided]
+                )
+                for position, value in zip(undecided, default_values):
+                    output[position] = value
+            return output
+        return run
+
+    def _cast(self, node):
+        expr = self.compile(node.expr)
+        target = node.target_type
+        return lambda ctx, sel: [
+            cast_value(value, target) for value in expr(ctx, sel)
+        ]
+
+    def _in_list(self, node):
+        expr = self.compile(node.expr)
+        items = [self.compile(item) for item in node.items]
+        negated = node.negated
+
+        def run(ctx, sel):
+            needles = expr(ctx, sel)
+            output = [None] * len(sel)
+            saw_null = [False] * len(sel)
+            undecided = [
+                position for position, needle in enumerate(needles)
+                if needle is not None
+            ]
+            for item in items:
+                if not undecided:
+                    break
+                narrowed = [sel[position] for position in undecided]
+                item_values = item(ctx, narrowed)
+                remaining = []
+                for position, value in zip(undecided, item_values):
+                    verdict = equals(needles[position], value)
+                    if verdict is True:
+                        output[position] = not negated if negated else True
+                    else:
+                        if verdict is None:
+                            saw_null[position] = True
+                        remaining.append(position)
+                undecided = remaining
+            for position in undecided:
+                if negated:
+                    output[position] = None if saw_null[position] else True
+                else:
+                    output[position] = None if saw_null[position] else False
+            return output
+        return run
+
+    def _between(self, node):
+        expr = self.compile(node.expr)
+        low = self.compile(node.low)
+        high = self.compile(node.high)
+        negated = node.negated
+
+        def run(ctx, sel):
+            output = []
+            for value, low_value, high_value in zip(
+                expr(ctx, sel), low(ctx, sel), high(ctx, sel)
+            ):
+                lower_check = compare(value, low_value)
+                upper_check = compare(value, high_value)
+                if lower_check is None or upper_check is None:
+                    output.append(None)
+                    continue
+                inside = lower_check >= 0 and upper_check <= 0
+                output.append(not inside if negated else inside)
+            return output
+        return run
+
+    def _like(self, node):
+        expr = self.compile(node.expr)
+        pattern = self.compile(node.pattern)
+        negated = node.negated
+
+        def run(ctx, sel):
+            output = []
+            for value, pattern_value in zip(
+                expr(ctx, sel), pattern(ctx, sel)
+            ):
+                if value is None or pattern_value is None:
+                    output.append(None)
+                    continue
+                if not isinstance(value, str) or not isinstance(
+                    pattern_value, str
+                ):
+                    raise TypeMismatchError("LIKE expects text operands")
+                matched = _like_match(value, pattern_value)
+                output.append(not matched if negated else matched)
+            return output
+        return run
+
+    def _is_null(self, node):
+        expr = self.compile(node.expr)
+        negated = node.negated
+        return lambda ctx, sel: [
+            (value is not None) if negated else (value is None)
+            for value in expr(ctx, sel)
+        ]
+
+    _DISPATCH = {
+        ast.Literal: _literal,
+        ast.ColumnRef: _column,
+        ast.UnaryOp: _unary,
+        ast.BinaryOp: _binary,
+        ast.FunctionCall: _call,
+        ast.CaseExpression: _case,
+        ast.Cast: _cast,
+        ast.InList: _in_list,
+        ast.Between: _between,
+        ast.Like: _like,
+        ast.IsNull: _is_null,
+    }
+
+
+def compile_vector(node, schema, has_outer, bound_ids=frozenset()):
+    """Compile ``node`` for batched evaluation over ``schema``.
+
+    Returns ``(closure, cacheable)``; raises :class:`VectorFallback` when
+    the expression needs the row path. ``closure(ctx, sel)`` returns values
+    aligned with the row indices in ``sel``.
+    """
+    compiler = _VectorCompiler(schema, has_outer, bound_ids)
+    closure = compiler.compile(node)
+    return closure, compiler.cacheable
+
+
+# -- compiled-expression cache ----------------------------------------------
+#
+# GenEdit's loop executes the same (or near-identical) candidate SQL against
+# the same database over and over — generation, self-correction, the final
+# check, and the EX metric each pay an execution. Compiled closures are pure
+# with respect to everything except the schema they were resolved against,
+# so they are cached per (database name+version, FROM-schema signature,
+# expression digest) and shared across executor instances.
+
+_COMPILED_CACHE = {}
+_COMPILED_CACHE_CAP = 4096
+_COMPILED_STATS = {"hits": 0, "misses": 0, "fallbacks": 0}
+_FALLBACK_SENTINEL = object()
+
+
+def _expr_digest(node):
+    digest = getattr(node, "_vector_digest", None)
+    if digest is None:
+        from ..sql.printer import to_sql
+
+        digest = to_sql(node)
+        try:
+            node._vector_digest = digest
+        except AttributeError:  # pragma: no cover - nodes are plain objects
+            pass
+    return digest
+
+
+def _schema_signature(schema):
+    return tuple(
+        (binding, tuple(column.upper() for column in columns))
+        for binding, columns in schema
+    )
+
+
+def compiled_expression(node, database, schema, has_outer,
+                        bound_ids=frozenset()):
+    """Cached vector closure for ``node`` against ``schema``.
+
+    Closures that gather bound aggregate arrays are keyed by node identity
+    and therefore never cached. Fallback verdicts are cached too, so an
+    unvectorizable WHERE clause pays the compile attempt only once per
+    database version.
+    """
+    if bound_ids:
+        closure, _cacheable = compile_vector(
+            node, schema, has_outer, bound_ids
+        )
+        return closure
+    key = (
+        database.name,
+        database.version,
+        _schema_signature(schema),
+        has_outer,
+        _expr_digest(node),
+    )
+    cached = _COMPILED_CACHE.get(key)
+    if cached is not None:
+        _COMPILED_STATS["hits"] += 1
+        if cached is _FALLBACK_SENTINEL:
+            raise VectorFallback(key[-1])
+        return cached
+    _COMPILED_STATS["misses"] += 1
+    if len(_COMPILED_CACHE) >= _COMPILED_CACHE_CAP:
+        _COMPILED_CACHE.clear()
+    from time import perf_counter
+
+    from .stats import ENGINE_STATS
+
+    started = perf_counter()
+    try:
+        closure, cacheable = compile_vector(node, schema, has_outer)
+    except VectorFallback:
+        _COMPILED_STATS["fallbacks"] += 1
+        _COMPILED_CACHE[key] = _FALLBACK_SENTINEL
+        raise
+    finally:
+        ENGINE_STATS["compile_s"] += perf_counter() - started
+    if cacheable:
+        _COMPILED_CACHE[key] = closure
+    return closure
+
+
+def vector_cache_stats():
+    """Hit/miss/fallback counters plus current entry count."""
+    stats = dict(_COMPILED_STATS)
+    stats["entries"] = len(_COMPILED_CACHE)
+    return stats
+
+
+def reset_vector_cache():
+    """Clear the compiled cache and its counters (tests, benchmarks)."""
+    _COMPILED_CACHE.clear()
+    for key in _COMPILED_STATS:
+        _COMPILED_STATS[key] = 0

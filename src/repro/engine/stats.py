@@ -1,0 +1,61 @@
+"""Module-level engine counters for the columnar execution pipeline.
+
+The bench profile (schema v3) reports a per-run engine breakdown: time in
+the logical-rewrite pass, time compiling vector closures, and how often the
+executor ran fully columnar versus falling back to the row path. Counters
+are process-global because compiled closures and rewritten plans are shared
+across executor instances — resetting happens at profile boundaries.
+"""
+
+from __future__ import annotations
+
+_ZERO = {
+    "rewrite_s": 0.0,
+    "compile_s": 0.0,
+    "columnar_selects": 0,
+    "row_fallback_selects": 0,
+    "error_reruns": 0,
+    "hash_joins": 0,
+    "loop_joins": 0,
+}
+
+ENGINE_STATS = dict(_ZERO)
+
+
+def engine_snapshot():
+    """Current counters plus compiled-expression cache statistics."""
+    from .evaluator import vector_cache_stats
+
+    snapshot = dict(ENGINE_STATS)
+    snapshot["rewrite_s"] = round(snapshot["rewrite_s"], 6)
+    snapshot["compile_s"] = round(snapshot["compile_s"], 6)
+    snapshot["predicate_cache"] = vector_cache_stats()
+    return snapshot
+
+
+def publish_engine_gauges(registry=None):
+    """Export engine counters as gauges on the observability registry.
+
+    Called at profile boundaries (not per execution) so the engine's hot
+    path never pays a metrics lookup; the gauges mirror the latest
+    :func:`engine_snapshot`.
+    """
+    from ..obs.metrics import get_metrics
+    from .evaluator import vector_cache_stats
+
+    registry = registry if registry is not None else get_metrics()
+    cache = vector_cache_stats()
+    for key in ("hits", "misses", "fallbacks", "entries"):
+        registry.set_gauge(f"engine.predicate_cache.{key}", cache[key])
+    for key in ("columnar_selects", "row_fallback_selects", "error_reruns",
+                "hash_joins", "loop_joins"):
+        registry.set_gauge(f"engine.{key}", ENGINE_STATS[key])
+    return registry
+
+
+def reset_engine_stats():
+    """Zero all counters and clear the compiled-expression cache."""
+    from .evaluator import reset_vector_cache
+
+    ENGINE_STATS.update(_ZERO)
+    reset_vector_cache()

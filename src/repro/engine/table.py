@@ -8,11 +8,24 @@ pre-processing phase profiles every column for its most frequent values
 
 from __future__ import annotations
 
+import datetime
 from collections import Counter
 from dataclasses import dataclass, field
 
 from .errors import TypeMismatchError, UnknownColumnError
 from .values import canonical_type, type_of
+
+#: Exact Python type expected per canonical column type. ``type(value) is
+#: expected`` is the common-case insert check; anything else (bool-as-int,
+#: datetime-as-date, widenings) goes through the full :func:`type_of` path
+#: with identical semantics.
+_EXACT_TYPE = {
+    "INTEGER": int,
+    "FLOAT": float,
+    "TEXT": str,
+    "BOOLEAN": bool,
+    "DATE": datetime.date,
+}
 
 
 @dataclass(frozen=True)
@@ -49,6 +62,7 @@ class Table:
             )
         self.rows = []
         self.version = 0
+        self._arrays_cache = None
         for row in rows or []:
             self.insert(row)
 
@@ -94,6 +108,8 @@ class Table:
     def _check_value(self, value, column):
         if value is None:
             return None
+        if type(value) is _EXACT_TYPE.get(column.type):
+            return value
         actual = type_of(value)
         if actual == column.type:
             return value
@@ -106,6 +122,31 @@ class Table:
             f"Column {self.name}.{column.name} is {column.type}, "
             f"got {actual} value {value!r}"
         )
+
+    def column_arrays(self):
+        """Per-column value arrays keyed by upper-case name, version-cached.
+
+        The columnar executor reads tables through this transpose; caching
+        it on the table version means the cost is paid once per mutation,
+        not once per query — the bench loop executes the same handful of
+        tables thousands of times. The row count rides along in the cache
+        key so out-of-band appends to ``rows`` (which bypass ``insert`` and
+        the version counter) are still seen; replacing a row tuple in place
+        additionally needs a version bump to invalidate.
+        """
+        cached = self._arrays_cache
+        if (
+            cached is not None
+            and cached[0] == self.version
+            and cached[1] == len(self.rows)
+        ):
+            return cached[2]
+        arrays = {
+            column.name.upper(): [row[position] for row in self.rows]
+            for position, column in enumerate(self.columns)
+        }
+        self._arrays_cache = (self.version, len(self.rows), arrays)
+        return arrays
 
     def top_values(self, column_name, k=5):
         """Return the ``k`` most frequent non-NULL values of a column.

@@ -26,6 +26,13 @@ def count_tokens(text):
     return max(1, (len(text) + 3) // 4)
 
 
+def count_tokens_for_length(length):
+    """:func:`count_tokens` for a string of known length."""
+    if not length:
+        return 0
+    return max(1, (length + 3) // 4)
+
+
 @dataclass(frozen=True)
 class ModelSpec:
     """A model's context budget and pricing (USD per 1M tokens)."""
@@ -120,8 +127,16 @@ class PromptSection:
         return "\n".join(lines)
 
     @property
+    def rendered_length(self):
+        """``len(self.render())`` without building the string."""
+        return (
+            3 + len(self.title)
+            + sum([1 + len(str(entry)) for entry in self.entries])
+        )
+
+    @property
     def token_count(self):
-        return count_tokens(self.render())
+        return count_tokens_for_length(self.rendered_length)
 
 
 @dataclass
@@ -149,7 +164,13 @@ class Prompt:
 
     @property
     def token_count(self):
-        return count_tokens(self.render())
+        # Token accounting runs on every metered call; deriving the
+        # rendered length arithmetically (same bookkeeping as
+        # fit_to_budget) skips building the full prompt string.
+        total_len = len(self.task) + sum(
+            [2 + section.rendered_length for section in self.sections]
+        )
+        return count_tokens_for_length(total_len)
 
     def fit_to_budget(self, budget_tokens):
         """Truncate entries (in reverse section order) until within budget.

@@ -23,6 +23,22 @@ from ..text.normalize import normalize
 from .grounding import Grounder, GroundingInput
 from .interface import GPT_4O, GPT_4O_MINI, Prompt
 
+#: Token sets for texts that recur across calls (schema-element retrieval
+#: texts score against every question). Keyed by the text itself, so equal
+#: texts share one frozenset; bounded the same way the normalize cache is.
+_TOKEN_SET_CACHE = {}
+_TOKEN_SET_CACHE_CAP = 8192
+
+
+def _token_set(text):
+    cached = _TOKEN_SET_CACHE.get(text)
+    if cached is None:
+        cached = frozenset(normalize(text))
+        if len(_TOKEN_SET_CACHE) >= _TOKEN_SET_CACHE_CAP:
+            _TOKEN_SET_CACHE.clear()
+        _TOKEN_SET_CACHE[text] = cached
+    return cached
+
 
 class SimulatedLLM:
     """Deterministic stand-in for the GPT-4o calls in the paper."""
@@ -101,17 +117,27 @@ class SimulatedLLM:
         }
         scored = []
         for position, element in enumerate(schema_elements):
-            tokens = set(normalize(element.retrieval_text))
+            # The element-side scoring inputs (retrieval-text tokens, name
+            # tokens, lowered values) never change; computed once per
+            # element and kept on the instance across questions.
+            cached = element.__dict__.get("_link_signature")
+            if cached is None:
+                cached = (
+                    _token_set(element.retrieval_text),
+                    _token_set(
+                        (element.column or element.table).replace("_", " ")
+                    ),
+                    tuple(str(value).lower() for value in element.top_values),
+                )
+                element._link_signature = cached
+            tokens, name_tokens, lowered_values = cached
             overlap = len(question_tokens & tokens)
             score = float(overlap)
             # A question word naming the column (or table) itself is a far
             # stronger signal than description overlap.
-            name_tokens = set(
-                normalize((element.column or element.table).replace("_", " "))
-            )
             score += 2.0 * len(question_tokens & name_tokens)
-            for value in element.top_values:
-                if str(value).lower() in question_words:
+            for value in lowered_values:
+                if value in question_words:
                     score += 2.0
             if element.is_table:
                 score += 0.5 * overlap
@@ -126,8 +152,12 @@ class SimulatedLLM:
         # never drops a table definition before its columns.
         tables = []
         support = []
+        # Selected elements are distinct objects (qualified names are
+        # unique), so identity membership matches the equality check the
+        # list would do — without O(selected) dataclass comparisons each.
+        selected_ids = {id(element) for element in selected}
         for element in schema_elements:
-            if element in selected:
+            if id(element) in selected_ids:
                 continue
             if element.table in chosen_tables and element.is_table:
                 tables.append(element)

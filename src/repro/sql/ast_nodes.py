@@ -15,6 +15,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 
+#: Field names per node class, resolved once — dataclasses.fields() builds
+#: a fresh tuple on every call, and traversals visit thousands of nodes.
+_FIELD_NAMES = {}
+
+
+def _field_names(cls):
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(item.name for item in fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
 class Node:
     """Base class providing generic child iteration and traversal."""
 
@@ -26,8 +39,8 @@ class Node:
 
     def children(self):
         """Yield every child :class:`Node` in field order."""
-        for item in fields(self):
-            value = getattr(self, item.name)
+        for name in _field_names(type(self)):
+            value = getattr(self, name)
             if isinstance(value, Node):
                 yield value
             elif isinstance(value, (list, tuple)):
@@ -40,10 +53,33 @@ class Node:
                                 yield part
 
     def walk(self):
-        """Yield this node then every descendant, pre-order."""
-        yield self
-        for child in self.children():
-            yield from child.walk()
+        """Yield this node then every descendant, pre-order.
+
+        Iterative: a reversed-children stack produces exactly the recursive
+        pre-order sequence without a generator frame per tree level. The
+        child scan is inlined (same field order as :meth:`children`) so the
+        hot traversal never allocates a generator per node.
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            children = []
+            append = children.append
+            for name in _field_names(type(node)):
+                value = getattr(node, name)
+                if isinstance(value, Node):
+                    append(value)
+                elif isinstance(value, (list, tuple)):
+                    for element in value:
+                        if isinstance(element, Node):
+                            append(element)
+                        elif isinstance(element, tuple):
+                            for part in element:
+                                if isinstance(part, Node):
+                                    append(part)
+            children.reverse()
+            stack.extend(children)
 
 
 # ---------------------------------------------------------------------------
@@ -328,3 +364,32 @@ EXPRESSION_NODES = (
     WindowFunction, CaseExpression, Cast, InList, InSubquery, Between,
     Like, IsNull, Exists, ScalarSubquery,
 )
+
+
+def _clone_value(value):
+    if isinstance(value, Node):
+        return clone_tree(value)
+    if isinstance(value, list):
+        return [_clone_value(element) for element in value]
+    if isinstance(value, tuple):
+        return tuple(_clone_value(element) for element in value)
+    return value
+
+
+def clone_tree(node):
+    """A structurally fresh copy of an AST (much faster than deepcopy).
+
+    Rebuilds every node from its dataclass fields: child nodes and their
+    containers are copied, leaf values (strings, numbers, spans) are
+    shared — they are treated as immutable everywhere. Non-field annotations
+    (memoized digests, cached plans) deliberately do not survive the copy.
+    """
+    cls = type(node)
+    copied = cls(**{
+        name: _clone_value(getattr(node, name))
+        for name in _field_names(cls)
+    })
+    span = node.span
+    if span is not None:
+        copied.span = span
+    return copied

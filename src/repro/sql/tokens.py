@@ -14,6 +14,8 @@ attaching provenance.
 
 from __future__ import annotations
 
+import re
+from bisect import bisect_left
 from dataclasses import dataclass
 from enum import Enum, auto
 
@@ -135,12 +137,118 @@ class _Cursor:
         return self.index >= len(self.text)
 
 
+#: One alternation per lexical shape, tried in the same precedence order as
+#: the character scanner (comments before operators, numbers before the dot
+#: punctuation). ASCII-only on purpose: any text the pattern cannot account
+#: for — unicode identifiers, malformed literals — drops to the scanner.
+_TOKEN_REGEX = re.compile(
+    r"""
+      [ \t\r\n]+
+    | --[^\n]*
+    | /\*(?:[^*]|\*(?!/))*\*/
+    | (?P<string>'(?:[^']|'')*')
+    | (?P<qident>"[^"]*")
+    | (?P<number>(?:[0-9]+(?:\.[0-9]+)?|\.[0-9]+)(?:[eE][+-]?[0-9]+)?)
+    | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<op><>|!=|>=|<=|\|\||[-+*/%=<>])
+    | (?P<punct>[(),.;])
+    """,
+    re.VERBOSE,
+)
+
+
+class _FastLexUnsupported(Exception):
+    """Input the regex lexer cannot reproduce faithfully; rescan instead."""
+
+
 def tokenize(sql):
     """Tokenize ``sql`` and return a list of tokens ending with an EOF token.
 
     Raises :class:`SqlSyntaxError` on unterminated strings or characters
     outside the dialect.
+
+    Lexing is regex-driven for the common all-ASCII case; anything the
+    pattern table cannot reproduce exactly (unicode word characters, any
+    malformed construct) re-lexes with the character scanner, which owns
+    the precise error reporting.
     """
+    try:
+        return _tokenize_fast(sql)
+    except _FastLexUnsupported:
+        return _tokenize_scan(sql)
+
+
+def _tokenize_fast(sql):
+    newlines = []
+    found = sql.find("\n")
+    while found != -1:
+        newlines.append(found)
+        found = sql.find("\n", found + 1)
+
+    def locate(position):
+        if not newlines:
+            return 1, position + 1
+        preceding = bisect_left(newlines, position)
+        if preceding == 0:
+            return 1, position + 1
+        return preceding + 1, position - newlines[preceding - 1]
+
+    tokens = []
+    position = 0
+    length = len(sql)
+    match_at = _TOKEN_REGEX.match
+    while position < length:
+        match = match_at(sql, position)
+        if match is None:
+            raise _FastLexUnsupported
+        group = match.lastgroup
+        if group is not None:
+            text = match.group()
+            line, column = locate(position)
+            if group == "word":
+                upper = text.upper()
+                if upper in KEYWORDS:
+                    token = Token(
+                        TokenType.KEYWORD, upper, position, line, column
+                    )
+                else:
+                    token = Token(
+                        TokenType.IDENTIFIER, text, position, line, column
+                    )
+            elif group == "string":
+                token = Token(
+                    TokenType.STRING, text[1:-1].replace("''", "'"),
+                    position, line, column,
+                )
+            elif group == "number":
+                token = Token(TokenType.NUMBER, text, position, line, column)
+            elif group == "op":
+                if text == "/" and sql.startswith("/*", position):
+                    # An unterminated block comment: the comment alternative
+                    # failed to match, so '/' fell through to the operator
+                    # branch. The scanner raises the right error.
+                    raise _FastLexUnsupported
+                token = Token(
+                    TokenType.OPERATOR, "<>" if text == "!=" else text,
+                    position, line, column,
+                )
+            elif group == "punct":
+                token = Token(
+                    TokenType.PUNCTUATION, text, position, line, column
+                )
+            else:  # qident
+                token = Token(
+                    TokenType.IDENTIFIER, text[1:-1], position, line, column
+                )
+            tokens.append(token)
+        position = match.end()
+    line, column = locate(length)
+    tokens.append(Token(TokenType.EOF, "", length, line, column))
+    return tokens
+
+
+def _tokenize_scan(sql):
+    """The reference character-at-a-time lexer (and error reporter)."""
     cursor = _Cursor(sql)
     tokens = []
     while not cursor.exhausted:

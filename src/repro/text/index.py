@@ -7,16 +7,26 @@ by cosine similarity, optionally restricted to a candidate subset (which is
 how intent-keyed retrieval composes with similarity re-ranking).
 
 The index pays its embedding cost once per refresh: each document's vector
-*and* L2 norm are precomputed, the per-document token list is normalised a
-single time (shared by the vectorizer fit, the document vector, and the
-inverted index), and query-vector transforms are memoized until the next
-mutation — so context-expansion re-ranks that reuse the same expanded query
-text never re-embed it.
+*and* L2 norm are precomputed, the per-document token and term lists are
+normalised a single time and cached on the document (so refreshes after an
+``add`` only re-tokenize the new documents), and query-vector transforms are
+memoized until the next mutation — so context-expansion re-ranks that reuse
+the same expanded query text never re-embed it.
+
+Scoring is batched: a refresh also packs every document vector into a
+term -> [(doc_id, weight)] postings table, and a search accumulates dot
+products for the whole candidate pool in one pass over the query's terms
+instead of one sparse-dict intersection per document. The accumulation
+visits exactly the nonzero terms the per-document cosine would, in the same
+order, so scores are bit-identical to :func:`cosine_with_norms` — documents
+with fewer terms than the query (where that helper iterates the document
+side instead) are scored individually the legacy way.
 """
 
 from __future__ import annotations
 
 import logging
+from collections import Counter
 from dataclasses import dataclass, field
 
 from .normalize import normalize
@@ -43,6 +53,9 @@ class Document:
     metadata: dict = field(default_factory=dict)
     vector: dict = field(default_factory=dict)
     norm: float = 0.0
+    tokens: list = None
+    terms: list = None
+    term_counts: dict = None
 
 
 @dataclass(frozen=True)
@@ -60,9 +73,11 @@ class RetrievalIndex:
     def __init__(self):
         self._documents = {}
         self._inverted = {}
+        self._postings = {}
         self._vectorizer = TfIdfVectorizer()
         self._query_cache = {}
         self._dirty = False
+        self._fallback_warned = False
 
     def __len__(self):
         return len(self._documents)
@@ -100,17 +115,16 @@ class RetrievalIndex:
         """
         self._refresh()
         query_text = query if not extra_text else f"{query}\n{extra_text}"
-        query_vector, query_norm = self._embed_query(query_text)
-        pool = self._candidate_pool(query_text, candidates)
-        hits = []
-        for doc_id in pool:
-            document = self._documents[doc_id]
-            score = cosine_with_norms(
-                query_vector, document.vector, query_norm, document.norm
-            )
-            hits.append(SearchHit(doc_id, score, document))
-        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
-        return hits[:k]
+        query_vector, query_norm, query_terms = self._embed_query(query_text)
+        pool = self._candidate_pool(query_text, candidates, query_terms)
+        scores = self._batched_scores(query_vector, query_norm, pool)
+        # Rank plain (−score, id) tuples and only build SearchHit objects
+        # for the k survivors — the pool is often much larger than k.
+        ranked = sorted((-scores[doc_id], doc_id) for doc_id in pool)
+        return [
+            SearchHit(doc_id, -negated, self._documents[doc_id])
+            for negated, doc_id in ranked[:k]
+        ]
 
     def score(self, query, doc_id):
         """Similarity of one document to ``query``."""
@@ -118,41 +132,101 @@ class RetrievalIndex:
         document = self._documents.get(doc_id)
         if document is None:
             return 0.0
-        query_vector, query_norm = self._embed_query(query)
+        query_vector, query_norm, _terms = self._embed_query(query)
         return cosine_with_norms(
             query_vector, document.vector, query_norm, document.norm
         )
 
+    def _batched_scores(self, query_vector, query_norm, pool):
+        """Cosine scores for every doc in ``pool``, one postings pass.
+
+        Bit-identical to per-document :func:`cosine_with_norms`: that
+        helper iterates the smaller of the two sparse dicts, so documents
+        at least as large as the query accumulate query-term order dot
+        products here (skipped zero terms contribute exactly ``+0.0``),
+        and strictly smaller documents fall back to the per-document call.
+        """
+        scores = {}
+        accumulating = {}
+        query_len = len(query_vector)
+        for doc_id in pool:
+            document = self._documents[doc_id]
+            if (
+                not query_vector
+                or not document.vector
+                or query_norm == 0
+                or document.norm == 0
+            ):
+                scores[doc_id] = 0.0
+            elif len(document.vector) < query_len:
+                scores[doc_id] = cosine_with_norms(
+                    query_vector, document.vector, query_norm, document.norm
+                )
+            else:
+                accumulating[doc_id] = 0
+        if accumulating:
+            if len(accumulating) <= 24:
+                # Candidate-restricted pools: a postings pass would touch
+                # every indexed document sharing a query term, almost all
+                # outside the pool. Per-document products in query-term
+                # order accumulate identically (each skipped posting is an
+                # exact ``+0.0``), so this is the same score bit-for-bit.
+                for doc_id in accumulating:
+                    document = self._documents[doc_id]
+                    get = document.vector.get
+                    dot = sum([
+                        query_weight * get(term, 0.0)
+                        for term, query_weight in query_vector.items()
+                    ])
+                    scores[doc_id] = dot / (query_norm * document.norm)
+            else:
+                postings = self._postings
+                for term, query_weight in query_vector.items():
+                    for doc_id, doc_weight in postings.get(term, ()):
+                        if doc_id in accumulating:
+                            accumulating[doc_id] += query_weight * doc_weight
+                for doc_id, dot in accumulating.items():
+                    scores[doc_id] = dot / (
+                        query_norm * self._documents[doc_id].norm
+                    )
+        return scores
+
     def _embed_query(self, query_text):
-        """Memoized ``(vector, norm)`` for a query; valid until mutation."""
+        """Memoized ``(vector, norm, term set)``; valid until mutation."""
         cached = self._query_cache.get(query_text)
         if cached is not None:
             return cached
-        vector = self._vectorizer.transform(query_text)
-        entry = (vector, l2_norm(vector))
+        tokens = normalize(query_text)
+        vector = self._vectorizer.transform(query_text, tokens=tokens)
+        entry = (vector, l2_norm(vector), set(tokens))
         if len(self._query_cache) >= QUERY_CACHE_SIZE:
             self._query_cache.clear()
         self._query_cache[query_text] = entry
         return entry
 
-    def _candidate_pool(self, query_text, candidates):
+    def _candidate_pool(self, query_text, candidates, query_terms=None):
         if candidates is not None:
             return [doc_id for doc_id in candidates if doc_id in self._documents]
         # Inverted-index pre-filter: documents sharing at least one term.
-        terms = set(normalize(query_text))
+        if query_terms is None:
+            query_terms = set(normalize(query_text))
         pool = set()
-        for term in terms:
+        for term in query_terms:
             pool.update(self._inverted.get(term, ()))
         if not pool:
             # Fall back to scanning the collection, but never unboundedly:
             # on a large index a no-overlap query would otherwise score
             # every document only to find nothing better than noise.
             if len(self._documents) > FALLBACK_SCAN_CAP:
-                logger.warning(
-                    "empty pre-filter for query %r: capping fallback scan "
-                    "at %d of %d documents",
-                    query_text[:80], FALLBACK_SCAN_CAP, len(self._documents),
-                )
+                if not self._fallback_warned:
+                    self._fallback_warned = True
+                    logger.warning(
+                        "empty pre-filter for query %r: capping fallback "
+                        "scan at %d of %d documents (repeats suppressed "
+                        "until the next index refresh)",
+                        query_text[:80], FALLBACK_SCAN_CAP,
+                        len(self._documents),
+                    )
                 return list(self._documents)[:FALLBACK_SCAN_CAP]
             return list(self._documents)
         return sorted(pool)
@@ -160,22 +234,30 @@ class RetrievalIndex:
     def _refresh(self):
         if not self._dirty:
             return
-        # One normalisation pass per document, shared by the vectorizer fit,
+        # One normalisation pass per document, cached on the document so a
+        # refresh triggered by adding a handful of documents only pays to
+        # tokenize those; the token list is shared by the vectorizer fit,
         # the document embedding, and the inverted index.
-        tokens_by_doc = {
-            doc_id: normalize(document.text)
-            for doc_id, document in self._documents.items()
-        }
         self._vectorizer = TfIdfVectorizer()
-        for doc_id, document in self._documents.items():
-            self._vectorizer.fit_one(document.text, tokens=tokens_by_doc[doc_id])
+        for document in self._documents.values():
+            if document.tokens is None:
+                document.tokens = normalize(document.text)
+                document.terms = self._vectorizer.terms_for(
+                    document.text, tokens=document.tokens
+                )
+                document.term_counts = Counter(document.terms)
+            self._vectorizer.fit_one(document.text, terms=document.terms)
         self._inverted = {}
+        self._postings = {}
         for doc_id, document in self._documents.items():
             document.vector = self._vectorizer.transform(
-                document.text, tokens=tokens_by_doc[doc_id]
+                document.text, counts=document.term_counts
             )
             document.norm = l2_norm(document.vector)
-            for term in set(tokens_by_doc[doc_id]):
+            for term in set(document.tokens):
                 self._inverted.setdefault(term, set()).add(doc_id)
+            for term, weight in document.vector.items():
+                self._postings.setdefault(term, []).append((doc_id, weight))
         self._query_cache = {}
         self._dirty = False
+        self._fallback_warned = False

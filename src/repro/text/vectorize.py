@@ -16,6 +16,14 @@ from collections import Counter
 
 from .normalize import char_ngrams, ngrams, normalize
 
+#: Memoized term lists keyed by (text, bigram flag, char-ngram flag). Term
+#: extraction is pure and the same text crosses several vectorizers (one
+#: question embeds against the example, instruction, and schema indexes; a
+#: mined document is fit and then transformed), so share the expansion.
+#: Values are tuples — treat them as immutable.
+_TERMS_CACHE = {}
+_TERMS_CACHE_CAP = 8192
+
 
 class TfIdfVectorizer:
     """Fit on a corpus of texts; transform texts to sparse weight dicts."""
@@ -25,6 +33,7 @@ class TfIdfVectorizer:
         self.use_char_ngrams = use_char_ngrams
         self._document_frequency = Counter()
         self._document_count = 0
+        self._idf_by_frequency = {}
 
     # -- fitting ----------------------------------------------------------
 
@@ -34,15 +43,17 @@ class TfIdfVectorizer:
             self.fit_one(text)
         return self
 
-    def fit_one(self, text, tokens=None):
+    def fit_one(self, text, tokens=None, terms=None):
         """Accumulate document frequencies from one text. Returns self.
 
         ``tokens`` is an optional precomputed ``normalize(text)`` result so
         callers that already tokenized the text (the retrieval index does,
-        for its inverted index) don't pay for normalisation twice.
+        for its inverted index) don't pay for normalisation twice; ``terms``
+        goes further and supplies the full term list (tokens + n-grams).
         """
         self._document_count += 1
-        for term in set(self._terms(text, tokens)):
+        self._idf_by_frequency = {}
+        for term in set(self._terms(text, tokens, terms)):
             self._document_frequency[term] += 1
         return self
 
@@ -52,31 +63,76 @@ class TfIdfVectorizer:
 
     # -- transforming ----------------------------------------------------------
 
-    def transform(self, text, tokens=None):
+    def transform(self, text, tokens=None, terms=None, counts=None):
         """Embed ``text`` as a sparse, L2-normalised TF-IDF dict.
 
-        ``tokens`` optionally carries a precomputed ``normalize(text)``.
+        ``tokens`` optionally carries a precomputed ``normalize(text)``;
+        ``terms`` a precomputed full term list; ``counts`` a precomputed
+        ``Counter`` of that term list (re-transforms after a refresh reuse
+        it — only the IDF side changes between refreshes).
         """
-        counts = Counter(self._terms(text, tokens))
+        if counts is None:
+            counts = Counter(self._terms(text, tokens, terms))
         if not counts:
             return {}
+        # Inlined :meth:`_idf` — transform dominates refresh cost and the
+        # method-call overhead is measurable at ~100 weights per document.
+        # ``count == 1`` (the common case) makes the TF factor exactly 1.0,
+        # so the weight is the IDF itself, bit-for-bit.
+        document_frequency = self._document_frequency
+        idf_by_frequency = self._idf_by_frequency
+        log = math.log
+        numerator = 1 + self._document_count
         vector = {}
         for term, count in counts.items():
-            weight = (1.0 + math.log(count)) * self._idf(term)
+            frequency = document_frequency.get(term, 0)
+            idf = idf_by_frequency.get(frequency)
+            if idf is None:
+                idf = log(numerator / (1 + frequency)) + 1.0
+                idf_by_frequency[frequency] = idf
+            weight = idf if count == 1 else (1.0 + log(count)) * idf
             if weight > 0:
                 vector[term] = weight
-        norm = math.sqrt(sum(value * value for value in vector.values()))
+        norm = math.sqrt(sum([value * value for value in vector.values()]))
         if norm == 0:
             return {}
-        return {term: value / norm for term, value in vector.items()}
+        # Normalise in place: ``vector`` is freshly built above, so no
+        # caller-visible dict is mutated and each division is the same
+        # ``value / norm`` the rebuild would compute.
+        for term in vector:
+            vector[term] /= norm
+        return vector
 
     def _idf(self, term):
         # Smoothed IDF; unseen terms get the maximum weight so novel
         # domain words (e.g. 'qoqfp') dominate similarity when present.
+        # Only the document frequency varies per term, so the log is
+        # computed once per distinct frequency (reset whenever fitting
+        # another document changes the count).
         frequency = self._document_frequency.get(term, 0)
-        return math.log((1 + self._document_count) / (1 + frequency)) + 1.0
+        weight = self._idf_by_frequency.get(frequency)
+        if weight is None:
+            weight = math.log(
+                (1 + self._document_count) / (1 + frequency)
+            ) + 1.0
+            self._idf_by_frequency[frequency] = weight
+        return weight
 
-    def _terms(self, text, tokens=None):
+    def terms_for(self, text, tokens=None):
+        """The full term list (tokens + n-grams) this vectorizer would use.
+
+        Callers that index many documents cache this per document and feed
+        it back through ``fit_one(terms=...)`` / ``transform(terms=...)``.
+        """
+        return self._terms(text, tokens)
+
+    def _terms(self, text, tokens=None, terms=None):
+        if terms is not None:
+            return terms
+        key = (text, self.use_bigrams, self.use_char_ngrams)
+        cached = _TERMS_CACHE.get(key)
+        if cached is not None:
+            return cached
         if tokens is None:
             tokens = normalize(text)
         terms = list(tokens)
@@ -84,4 +140,7 @@ class TfIdfVectorizer:
             terms.extend(ngrams(tokens, 2))
         if self.use_char_ngrams:
             terms.extend(char_ngrams(text, 3))
+        if len(_TERMS_CACHE) >= _TERMS_CACHE_CAP:
+            _TERMS_CACHE.clear()
+        _TERMS_CACHE[key] = tuple(terms)
         return terms

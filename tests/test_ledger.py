@@ -530,3 +530,80 @@ class TestLedgerCli:
         assert record["kind"] == "ask"
         assert record["systems"]["ask"]["questions"] == 1
         assert record["accounting"]["total"]["calls"] > 0
+
+
+class TestProfileSchemaCompat:
+    """Profile schema v3: new engine section, v2 payloads keep loading."""
+
+    def test_committed_v2_baseline_still_loads(self, tmp_path):
+        import pathlib
+
+        baseline_path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "BENCH_baseline.json"
+        )
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["schema_version"] == 2
+        assert "engine" not in baseline
+        ledger = RunLedger(tmp_path / "runs")
+        run_id = ledger.record_run(
+            make_record([make_outcome()]),
+            timing=build_timing([], profile=baseline, wall_s=1.0),
+        )
+        timing = ledger.read_timing(run_id)
+        # The embedded payload keeps its own (older) schema version and the
+        # reader does not require the v3-only section.
+        assert timing["profile"]["schema_version"] == 2
+        assert timing["profile"].get("engine") is None
+        assert timing["profile"]["stages"]["generate"] > 0
+
+    def test_v3_profile_reports_engine_breakdown(self, experiment_context):
+        from repro.bench.harness import profile
+
+        payload = profile(
+            context=experiment_context, limit=2, verbose=False
+        )
+        assert payload["schema_version"] == PROFILE_SCHEMA_VERSION == 3
+        engine = payload["engine"]
+        assert set(engine) >= {
+            "rewrite_s", "compile_s", "columnar_selects",
+            "row_fallback_selects", "error_reruns", "hash_joins",
+            "loop_joins", "predicate_cache",
+        }
+        assert engine["columnar_selects"] > 0
+        cache = engine["predicate_cache"]
+        assert set(cache) >= {"hits", "misses", "fallbacks", "entries"}
+        # Counters are integers reset at the profile boundary (a warm
+        # shared evaluation cache may legitimately leave them at zero).
+        assert all(
+            isinstance(cache[key], int)
+            for key in ("hits", "misses", "fallbacks", "entries")
+        )
+
+    def test_engine_gauges_published(self, experiment_context):
+        from repro.bench.harness import profile
+        from repro.obs.metrics import get_metrics
+
+        profile(context=experiment_context, limit=1, verbose=False)
+        snapshot = get_metrics().snapshot()
+        gauges = snapshot["gauges"]
+        assert "engine.predicate_cache.hits" in gauges
+        assert "engine.columnar_selects" in gauges
+
+    def test_diff_across_schema_versions_degrades_gracefully(self):
+        # A record written by an older ledger (schema v1-era: no faults or
+        # accounting blocks, older profile embedded) diffs cleanly against
+        # a current one — unknown fields ignored, missing fields defaulted.
+        old = make_record([make_outcome()])
+        old["schema_version"] = LEDGER_SCHEMA_VERSION - 1
+        old.pop("accounting", None)
+        old.pop("faults", None)
+        new = make_record(
+            [make_outcome(correct=False, error="boom: mismatch")]
+        )
+        diff = diff_records(old, new)
+        assert diff["flips"] == 1
+        (flip,) = diff["systems"]["GenEdit"]["flips"]
+        assert flip["direction"] == "broke"
+        rendered = render_diff(diff)
+        assert "broke" in rendered
