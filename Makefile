@@ -6,6 +6,8 @@
 #   make compile  - python -m compileall over src/
 #   make test     - tier-1 pytest suite
 #   make lint-corpus - diagnostics corpus + CLI smoke only
+#   make knowledge-lint - seeded knowledge sets must lint free of errors;
+#                   a planted stale-column fixture must fail the linter
 #   make trace-smoke - export one traced run, render it, check the root span
 #   make chaos-smoke - run Table 1 under fault injection; every question
 #                   must still produce an outcome and retries must register
@@ -17,11 +19,11 @@
 
 PYTHON ?= python
 
-.PHONY: lint compile test lint-corpus trace-smoke chaos-smoke ledger-smoke \
-	perf-smoke bench
+.PHONY: lint compile test lint-corpus knowledge-lint trace-smoke \
+	chaos-smoke ledger-smoke perf-smoke bench
 
-lint: compile test lint-corpus trace-smoke chaos-smoke ledger-smoke \
-	perf-smoke
+lint: compile test lint-corpus knowledge-lint trace-smoke chaos-smoke \
+	ledger-smoke perf-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -31,6 +33,13 @@ test:
 
 lint-corpus:
 	$(PYTHON) scripts/lint_corpus.py
+
+knowledge-lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint-knowledge
+	! PYTHONPATH=src $(PYTHON) -m repro lint-knowledge \
+		--db sports_holdings \
+		--knowledge tests/fixtures/knowledge_corpus/stale_column_sports.json \
+		> /dev/null
 
 trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro ask sports_holdings \

@@ -168,6 +168,13 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                 diagnostic.code for diagnostic in final_diagnostics
                 if diagnostic.is_error
             })),
+            plan_codes=tuple(sorted({
+                finding.code for finding in (
+                    result.context.candidate_plan_findings.get(result.sql)
+                    or result.context.plan_findings
+                )
+                if finding.is_error
+            })),
             attempts=len(result.context.attempts),
             operator_digests=tuple(result.context.operator_digests),
             llm_calls=tuple(
@@ -257,12 +264,29 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
             knowledge_sets=knowledge_sets,
             faults=fault_config,
             extra=meta or None,
+            knowledge_lint=_knowledge_lint_codes(profiles, knowledge_sets),
         )
         report.run_id = ledger.record_run(
             record,
             timing=build_timing(trace_sink or (), wall_s=elapsed),
         )
     return report
+
+
+def _knowledge_lint_codes(profiles, knowledge_sets):
+    """``{set name: {GK code: count}}`` for the ledger's run record.
+
+    Deterministic (rule order and component ids are stable for a given
+    seed), so re-recording the same run yields byte-identical records —
+    the ledger-smoke invariant.
+    """
+    from ..knowledge.lint import lint_codes_by_set
+
+    databases = {
+        name: profile.database
+        for name, profile in (profiles or {}).items()
+    }
+    return lint_codes_by_set(databases, knowledge_sets or {})
 
 
 def format_table(title, headers, rows, precision=2):
@@ -866,6 +890,9 @@ def _finish(context, flags, trace_out, target, reports=(),
             config=DEFAULT_CONFIG,
             knowledge_sets=context._knowledge,
             faults=context.fault_config,
+            knowledge_lint=_knowledge_lint_codes(
+                context._profiles, context._knowledge
+            ),
         )
         timing = build_timing(
             context.trace_sink or (), profile=profile_payload

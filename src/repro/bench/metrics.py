@@ -83,6 +83,8 @@ class QuestionOutcome:
     question_text: str = ""
     #: Error-level diagnostic codes (``GE0xx``) on the final SQL.
     lint_codes: tuple = ()
+    #: Error-level plan lint codes (``GP0xx``) on the final plan.
+    plan_codes: tuple = ()
     #: Self-correction attempts recorded during generation.
     attempts: int = 0
     #: ((operator, output digest), ...) in execution order — the run

@@ -8,6 +8,7 @@ within an analytics engine" (§1, §4.2). This CLI is that thin engine:
     python -m repro ask sports_holdings "..." --trace-out run.jsonl
     python -m repro trace run.jsonl [--slow 5]     # inspect an exported run
     python -m repro lint "SELECT ..." --db sports_holdings  # SQL diagnostics
+    python -m repro lint-knowledge [--db NAME] [--json]  # GK0xx knowledge lint
     python -m repro solve sports_holdings          # interactive feedback REPL
     python -m repro knowledge sports_holdings      # knowledge-set overview
     python -m repro bench table1 [--metrics] [--trace-out run.jsonl]
@@ -24,6 +25,7 @@ on first use from the benchmark's training logs and documents.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -240,6 +242,9 @@ def cmd_solve(args, out=sys.stdout, input_fn=input):
                 _print_result(pipeline, result, out=out)
             elif command == "submit":
                 submission = solver.submit()
+                if submission.knowledge_gate is not None:
+                    print("  knowledge gate:",
+                          submission.knowledge_gate.summary(), file=out)
                 print("  regression:",
                       submission.regression_report.summary(), file=out)
                 print("  status:", submission.status, file=out)
@@ -289,11 +294,32 @@ def cmd_lint(args, out=sys.stdout):
             )
         database = build_all(args.seed)[args.db].database
     diagnostics = DiagnosticsEngine(database).run_sql(sql)
-    for diagnostic in diagnostics:
-        print(diagnostic.render(), file=out)
     errors = sum(
         1 for diag in diagnostics if diag.severity is Severity.ERROR
     )
+    if getattr(args, "json", False):
+        records = [
+            {
+                "code": diag.code,
+                "slug": diag.slug,
+                "severity": diag.severity.value,
+                "message": diag.message,
+                "span": (
+                    {
+                        "position": diag.span.position,
+                        "line": diag.span.line,
+                        "column": diag.span.column,
+                    }
+                    if diag.span is not None else None
+                ),
+                "suggestion": diag.suggestion,
+            }
+            for diag in diagnostics
+        ]
+        print(json.dumps(records, indent=2), file=out)
+        return 1 if errors else 0
+    for diagnostic in diagnostics:
+        print(diagnostic.render(), file=out)
     warnings = sum(
         1 for diag in diagnostics if diag.severity is Severity.WARNING
     )
@@ -302,6 +328,83 @@ def cmd_lint(args, out=sys.stdout):
     else:
         print("clean: no diagnostics", file=out)
     return 1 if errors else 0
+
+
+def cmd_lint_knowledge(args, out=sys.stdout):
+    """Lint knowledge sets with the ``GK0xx`` rules (DESIGN.md §6f).
+
+    By default every seeded knowledge set is linted against its own
+    database; ``--db`` narrows to one, and ``--knowledge PATH`` lints a
+    serialized knowledge-set file (requires ``--db`` for the catalog) —
+    the CI hook for staged or exported sets. Exit 1 on any error-level
+    finding.
+    """
+    from .knowledge.lint import lint_knowledge
+
+    if args.db is not None and args.db not in DATABASE_NAMES:
+        raise SystemExit(
+            f"Unknown database {args.db!r}; "
+            f"choose from: {', '.join(DATABASE_NAMES)}"
+        )
+    if args.knowledge and not args.db:
+        print("error: --knowledge requires --db for the catalog", file=out)
+        return 2
+    profiles = build_all(args.seed)
+    if args.knowledge:
+        from .knowledge.serialize import load as load_knowledge
+
+        try:
+            loaded = load_knowledge(args.knowledge)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot load {args.knowledge}: {error}", file=out)
+            return 2
+        targets = [(loaded.name, loaded, profiles[args.db].database)]
+    else:
+        names = [args.db] if args.db else list(DATABASE_NAMES)
+        workload = build_workload(args.seed)
+        knowledge_sets = build_knowledge_sets(workload, args.seed)
+        targets = [
+            (name, knowledge_sets[name], profiles[name].database)
+            for name in names
+        ]
+    total_errors = 0
+    records = []
+    for label, knowledge, database in targets:
+        findings = lint_knowledge(knowledge, database)
+        errors = sum(1 for finding in findings if finding.is_error)
+        total_errors += errors
+        if getattr(args, "json", False):
+            records.extend(
+                {
+                    "set": label,
+                    "code": finding.code,
+                    "slug": finding.slug,
+                    "severity": finding.severity.value,
+                    "component_kind": finding.component_kind,
+                    "component_id": finding.component_id,
+                    "message": finding.message,
+                    "suggestion": finding.suggestion,
+                }
+                for finding in findings
+            )
+            continue
+        for finding in findings:
+            print(f"{label}: {finding.render()}", file=out)
+        warnings = sum(
+            1 for finding in findings
+            if finding.severity.value == "warning"
+        )
+        if findings:
+            print(
+                f"{label}: {errors} error(s), {warnings} warning(s), "
+                f"{len(findings)} finding(s)",
+                file=out,
+            )
+        else:
+            print(f"{label}: clean", file=out)
+    if getattr(args, "json", False):
+        print(json.dumps(records, indent=2), file=out)
+    return 1 if total_errors else 0
 
 
 def cmd_trace(args, out=sys.stdout):
@@ -549,7 +652,32 @@ def build_arg_parser():
         help=f"database catalog to lint against (one of: "
              f"{', '.join(DATABASE_NAMES)}); omit for structure-only checks",
     )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit diagnostics as structured JSON records "
+             "(code, severity, span, suggestion)",
+    )
     lint.set_defaults(func=cmd_lint)
+
+    lint_knowledge = commands.add_parser(
+        "lint-knowledge",
+        help="run the GK0xx knowledge-set rules (DESIGN.md §6f)",
+    )
+    lint_knowledge.add_argument(
+        "--db", default=None,
+        help=f"lint only this database's knowledge set (one of: "
+             f"{', '.join(DATABASE_NAMES)}); omit to lint all",
+    )
+    lint_knowledge.add_argument(
+        "--knowledge", metavar="PATH", default=None,
+        help="lint a serialized knowledge-set JSON file against --db's "
+             "catalog instead of the seeded set",
+    )
+    lint_knowledge.add_argument(
+        "--json", action="store_true",
+        help="emit findings as structured JSON records",
+    )
+    lint_knowledge.set_defaults(func=cmd_lint_knowledge)
 
     solve = commands.add_parser(
         "solve", help="interactive feedback solver session"

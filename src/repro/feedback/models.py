@@ -109,4 +109,8 @@ class Submission:
     edits: list
     status: str = SUBMISSION_PENDING_TESTS
     regression_report: object = None
+    #: Static gate over the staged knowledge set: a
+    #: :class:`~repro.feedback.regression.KnowledgeGateReport` whose
+    #: failure rejects the submission even when golden queries pass.
+    knowledge_gate: object = None
     reviewer: str = ""

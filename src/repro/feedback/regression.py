@@ -189,3 +189,77 @@ def _error_codes(engine, sql):
     if not sql:
         return set()
     return {diag.code for diag in engine.run_sql(sql) if diag.is_error}
+
+
+# -- knowledge gate ----------------------------------------------------------
+
+
+@dataclass
+class KnowledgeGateReport:
+    """Static gate over a staged knowledge set (DESIGN.md §6f).
+
+    Where :class:`RegressionReport` compares *behaviour* on golden
+    queries, this gate compares *artifacts*: the staged knowledge set is
+    linted with the ``GK0xx`` rules and any error-level finding absent
+    from the live set fails the gate. Findings are keyed by (code,
+    component kind, component id), so pre-existing debt on untouched
+    components never blocks a submission — only what the edit introduces.
+    """
+
+    new_findings: list = field(default_factory=list)
+    live_errors: int = 0
+    staged_errors: int = 0
+
+    @property
+    def passed(self):
+        return not self.new_findings
+
+    def summary(self):
+        status = "PASS" if self.passed else "FAIL"
+        line = (
+            f"{status}: knowledge gate, "
+            f"{len(self.new_findings)} new error finding(s)"
+        )
+        if self.new_findings:
+            codes = sorted({f.code for f in self.new_findings})
+            line += f" ({', '.join(codes)})"
+        return line
+
+
+def run_knowledge_gate(database, live_knowledge, staged_knowledge,
+                       tracer=None):
+    """Lint live vs. staged knowledge; fail on new error-level findings."""
+    from ..knowledge.lint import finding_keys, lint_knowledge
+
+    tracer = tracer or Tracer()
+    with tracer.span("knowledge_gate") as span:
+        live_findings = lint_knowledge(live_knowledge, database)
+        staged_findings = lint_knowledge(staged_knowledge, database)
+        live_keys = finding_keys(live_findings)
+        new_findings = sorted(
+            (
+                finding for finding in staged_findings
+                if finding.is_error
+                and (finding.code, finding.component_kind,
+                     finding.component_id) not in live_keys
+            ),
+            key=lambda finding: (
+                finding.code, finding.component_kind, finding.component_id
+            ),
+        )
+        report = KnowledgeGateReport(
+            new_findings=new_findings,
+            live_errors=sum(1 for f in live_findings if f.is_error),
+            staged_errors=sum(1 for f in staged_findings if f.is_error),
+        )
+        span.set_attr("passed", report.passed)
+        if new_findings:
+            span.set_attr(
+                "codes",
+                " ".join(sorted({f.code for f in new_findings})),
+            )
+    metrics = get_metrics()
+    metrics.inc("knowledge_gate.runs")
+    if not report.passed:
+        metrics.inc("knowledge_gate.rejections")
+    return report

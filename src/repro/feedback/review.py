@@ -62,9 +62,10 @@ class ApprovalQueue:
     def enqueue(self, submission):
         if submission.status != SUBMISSION_PENDING_TESTS:
             raise ValueError("Submission must come straight from testing")
+        gate = getattr(submission, "knowledge_gate", None)
         if submission.regression_report is None or (
             not submission.regression_report.passed
-        ):
+        ) or (gate is not None and not gate.passed):
             submission.status = SUBMISSION_REJECTED
             self._decided.append(submission)
             return submission

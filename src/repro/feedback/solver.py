@@ -24,7 +24,7 @@ from .models import (
     Submission,
     next_feedback_id,
 )
-from .regression import run_regression
+from .regression import run_knowledge_gate, run_regression
 from .review import apply_edit
 from .targets import generate_targets
 
@@ -166,8 +166,21 @@ class FeedbackSolver:
     # -- submit ----------------------------------------------------------
 
     def submit(self):
-        """Submit staged edits: regression test, then queue for approval."""
+        """Submit staged edits: lint gate + regression test, then queue.
+
+        The knowledge gate (DESIGN.md §6f) lints the post-edit knowledge
+        set and fails on error-level ``GK`` findings the live set does
+        not have; regression testing still runs so the SME sees the full
+        behavioural picture either way, but a gate failure rejects the
+        submission even when every golden query passes.
+        """
         staged_knowledge = self.staging_knowledge()
+        gate = run_knowledge_gate(
+            self.pipeline.database,
+            self.pipeline.knowledge,
+            staged_knowledge,
+            tracer=self.tracer,
+        )
         report = run_regression(
             self.pipeline.database,
             self.pipeline.knowledge,
@@ -182,6 +195,7 @@ class FeedbackSolver:
             edits=self.staged_edits(),
             status=SUBMISSION_PENDING_TESTS,
             regression_report=report,
+            knowledge_gate=gate,
         )
         if self.approval_queue is not None:
             self.approval_queue.enqueue(submission)
@@ -189,7 +203,8 @@ class FeedbackSolver:
             from .models import SUBMISSION_PENDING_APPROVAL, SUBMISSION_REJECTED
 
             submission.status = (
-                SUBMISSION_PENDING_APPROVAL if report.passed
+                SUBMISSION_PENDING_APPROVAL
+                if report.passed and gate.passed
                 else SUBMISSION_REJECTED
             )
         return submission

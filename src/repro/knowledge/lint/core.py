@@ -1,0 +1,183 @@
+"""Registry of ``GK0xx`` knowledge-set lint rules.
+
+The continuous-improvement loop (§4) mutates knowledge components —
+instructions, decomposed examples, schema elements, intents — and a bad
+edit silently degrades every future query until a regression run notices.
+This registry mirrors :mod:`repro.sql.diagnostics.core` (the ``GE0xx``
+pack) for the artifacts the loop actually edits: each rule has a stable
+code, a severity, and a one-line summary; findings point at the offending
+component by kind and id instead of a source span.
+
+Severity policy (DESIGN.md §6f): *error* findings gate — the Feedback
+Solver rejects staged edits that introduce new ones and
+``repro lint-knowledge`` exits non-zero; *warning* findings flag likely
+maintenance debt; *info* findings surface coverage gaps that are normal
+for mined sets but useful to SMEs curating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...sql.diagnostics.core import (
+    Severity,
+    error_count,
+    severity_score,
+    warning_count,
+)
+
+__all__ = [
+    "KnowledgeFinding",
+    "KnowledgeRule",
+    "KNOWLEDGE_RULES",
+    "Severity",
+    "error_count",
+    "get_rule",
+    "iter_rules",
+    "severity_score",
+    "warning_count",
+]
+
+
+@dataclass(frozen=True)
+class KnowledgeFinding:
+    """One knowledge-set lint finding, anchored to a component."""
+
+    code: str
+    slug: str
+    severity: Severity
+    message: str
+    component_kind: str = ""
+    component_id: str = ""
+    suggestion: str = None
+
+    @property
+    def is_error(self):
+        return self.severity is Severity.ERROR
+
+    def render(self):
+        where = ""
+        if self.component_id:
+            where = f" at {self.component_kind} {self.component_id}"
+        text = f"{self.code} {self.severity.value}{where}: {self.message}"
+        if self.suggestion:
+            text += f" (did you mean {self.suggestion!r}?)"
+        return text
+
+
+@dataclass(frozen=True)
+class KnowledgeRule:
+    """A registered knowledge lint rule."""
+
+    code: str
+    slug: str
+    severity: Severity
+    summary: str
+
+    def at(self, message, component=None, kind="", suggestion=None):
+        """Build a finding for this rule against ``component``.
+
+        ``component`` is any knowledge dataclass; its id attribute is
+        discovered by kind. Pass ``kind``/``component=None`` for
+        set-level findings (coverage gaps have no single component).
+        """
+        component_kind, component_id = kind, ""
+        if component is not None:
+            component_kind, component_id = describe_component(component)
+        return KnowledgeFinding(
+            code=self.code,
+            slug=self.slug,
+            severity=self.severity,
+            message=message,
+            component_kind=component_kind,
+            component_id=component_id,
+            suggestion=suggestion,
+        )
+
+
+#: All registered knowledge rules, keyed by code.
+KNOWLEDGE_RULES = {}
+
+
+def _register(code, slug, severity, summary):
+    if code in KNOWLEDGE_RULES:  # pragma: no cover - registration bug
+        raise ValueError(f"Duplicate knowledge rule code {code}")
+    rule = KnowledgeRule(code, slug, severity, summary)
+    KNOWLEDGE_RULES[code] = rule
+    return rule
+
+
+def get_rule(code):
+    return KNOWLEDGE_RULES[code]
+
+
+def iter_rules():
+    return [KNOWLEDGE_RULES[code] for code in sorted(KNOWLEDGE_RULES)]
+
+
+def describe_component(component):
+    """``(kind, id)`` for any knowledge component dataclass."""
+    for kind, attribute in (
+        ("intent", "intent_id"),
+        ("example", "example_id"),
+        ("instruction", "instruction_id"),
+        ("schema", "element_id"),
+    ):
+        identifier = getattr(component, attribute, None)
+        if identifier is not None:
+            return kind, identifier
+    return "component", ""
+
+
+GK001 = _register(
+    "GK001", "stale-table", Severity.ERROR,
+    "Component references a table absent from the live catalog",
+)
+GK002 = _register(
+    "GK002", "stale-column", Severity.ERROR,
+    "Component references a column its table does not have",
+)
+GK003 = _register(
+    "GK003", "example-parse-failure", Severity.ERROR,
+    "Example SQL fragment does not parse in any fragment context",
+)
+GK004 = _register(
+    "GK004", "example-lint-error", Severity.ERROR,
+    "Full-query example has error-level GE diagnostics",
+)
+GK005 = _register(
+    "GK005", "example-execution-failure", Severity.ERROR,
+    "Full-query example fails execution on the current engine",
+)
+GK006 = _register(
+    "GK006", "near-duplicate-example", Severity.WARNING,
+    "Edited example near-duplicates an existing example",
+)
+GK007 = _register(
+    "GK007", "contradictory-instructions", Severity.ERROR,
+    "Two term definitions for the same term disagree",
+)
+GK008 = _register(
+    "GK008", "missing-provenance", Severity.WARNING,
+    "Component has no usable provenance source",
+)
+GK009 = _register(
+    "GK009", "dangling-intent-ref", Severity.ERROR,
+    "Component references an intent id that does not exist",
+)
+GK010 = _register(
+    "GK010", "schema-type-drift", Severity.ERROR,
+    "Schema element's recorded type disagrees with the live catalog",
+)
+GK011 = _register(
+    "GK011", "table-missing-example", Severity.INFO,
+    "Catalog table has no example referencing it",
+)
+GK012 = _register(
+    "GK012", "table-missing-description", Severity.WARNING,
+    "Catalog table has no described schema element",
+)
+GK013 = _register(
+    "GK013", "stale-top-value", Severity.INFO,
+    "Recorded top value is no longer among the column's top values",
+)

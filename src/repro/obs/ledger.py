@@ -112,6 +112,7 @@ def _outcome_entry(outcome):
         "error": outcome.error,
         "degraded": list(getattr(outcome, "degraded", ()) or ()),
         "lint_codes": list(getattr(outcome, "lint_codes", ()) or ()),
+        "plan_codes": list(getattr(outcome, "plan_codes", ()) or ()),
         "lint_caught": getattr(outcome, "lint_caught", 0),
         "execution_caught": getattr(outcome, "execution_caught", 0),
         "attempts": getattr(outcome, "attempts", 0),
@@ -183,7 +184,7 @@ def build_accounting(systems):
 
 def build_run_record(reports, kind="bench", target="", seed=None,
                      config=None, knowledge_sets=None, faults=None,
-                     extra=None):
+                     extra=None, knowledge_lint=None):
     """Assemble the deterministic ``record.json`` payload (no run id yet).
 
     ``reports`` is any iterable of duck-typed
@@ -192,6 +193,11 @@ def build_run_record(reports, kind="bench", target="", seed=None,
     workloads) are disambiguated with ``#2``, ``#3``... suffixes in
     arrival order. Everything in the payload is reproducible given the
     same seed and config — wall-clock data belongs in the timing file.
+
+    ``knowledge_lint`` optionally maps knowledge-set name ->
+    ``{GK code: count}`` (see
+    :func:`repro.knowledge.lint.lint_codes_by_set`); ``repro diff``
+    surfaces new/resolved knowledge codes between two records from it.
     """
     systems = {}
     for report in reports or ():
@@ -228,10 +234,7 @@ def build_run_record(reports, kind="bench", target="", seed=None,
             config_fingerprint(config, seed) if config is not None else None
         ),
         "knowledge": {
-            name: {
-                "fingerprint": knowledge_fingerprint(knowledge),
-                "stats": knowledge.stats(),
-            }
+            name: _knowledge_entry(name, knowledge, knowledge_lint)
             for name, knowledge in sorted((knowledge_sets or {}).items())
         },
         "faults": (
@@ -244,6 +247,19 @@ def build_run_record(reports, kind="bench", target="", seed=None,
     if extra:
         record["extra"] = dict(extra)
     return record
+
+
+def _knowledge_entry(name, knowledge, knowledge_lint):
+    entry = {
+        "fingerprint": knowledge_fingerprint(knowledge),
+        "stats": knowledge.stats(),
+    }
+    if knowledge_lint is not None:
+        counts = knowledge_lint.get(name) or {}
+        entry["lint_codes"] = {
+            code: counts[code] for code in sorted(counts)
+        }
+    return entry
 
 
 def _exact_quantile(sorted_values, q):
@@ -517,11 +533,28 @@ def diff_records(record_a, record_b):
     knowledge_a = record_a.get("knowledge") or {}
     knowledge_b = record_b.get("knowledge") or {}
     for name in sorted(set(knowledge_a) | set(knowledge_b)):
-        fingerprint_a = (knowledge_a.get(name) or {}).get("fingerprint")
-        fingerprint_b = (knowledge_b.get(name) or {}).get("fingerprint")
-        if fingerprint_a != fingerprint_b:
+        entry_a = knowledge_a.get(name) or {}
+        entry_b = knowledge_b.get(name) or {}
+        fingerprint_a = entry_a.get("fingerprint")
+        fingerprint_b = entry_b.get("fingerprint")
+        codes_a = entry_a.get("lint_codes") or {}
+        codes_b = entry_b.get("lint_codes") or {}
+        new_knowledge_codes = {
+            code: codes_b[code]
+            for code in sorted(set(codes_b) - set(codes_a))
+        }
+        resolved_knowledge_codes = {
+            code: codes_a[code]
+            for code in sorted(set(codes_a) - set(codes_b))
+        }
+        if (
+            fingerprint_a != fingerprint_b
+            or new_knowledge_codes or resolved_knowledge_codes
+        ):
             knowledge_changes[name] = {
                 "a": fingerprint_a, "b": fingerprint_b,
+                "new_codes": new_knowledge_codes,
+                "resolved_codes": resolved_knowledge_codes,
             }
     diff = {
         "run_a": record_a.get("run_id", ""),
@@ -575,8 +608,12 @@ def diff_records(record_a, record_b):
                     "sql_a": outcome_a["predicted_sql"],
                     "sql_b": outcome_b["predicted_sql"],
                 })
-            codes_a = set(outcome_a.get("lint_codes") or ())
-            codes_b = set(outcome_b.get("lint_codes") or ())
+            codes_a = set(outcome_a.get("lint_codes") or ()) | set(
+                outcome_a.get("plan_codes") or ()
+            )
+            codes_b = set(outcome_b.get("lint_codes") or ()) | set(
+                outcome_b.get("plan_codes") or ()
+            )
             for code in codes_b - codes_a:
                 new_codes[code] = new_codes.get(code, 0) + 1
             for code in codes_a - codes_b:
@@ -639,9 +676,26 @@ def render_diff(diff, show_sql=False):
         lines.append("seed: CHANGED")
     if diff["knowledge_changes"]:
         for name, change in diff["knowledge_changes"].items():
-            lines.append(
-                f"knowledge[{name}]: {change['a']} -> {change['b']}"
-            )
+            if change["a"] != change["b"]:
+                lines.append(
+                    f"knowledge[{name}]: {change['a']} -> {change['b']}"
+                )
+            if change.get("new_codes"):
+                lines.append(
+                    f"knowledge[{name}] new knowledge codes: " + ", ".join(
+                        f"{code} (x{count})"
+                        for code, count in change["new_codes"].items()
+                    )
+                )
+            if change.get("resolved_codes"):
+                lines.append(
+                    f"knowledge[{name}] resolved knowledge codes: "
+                    + ", ".join(
+                        f"{code} (x{count})"
+                        for code, count in
+                        change["resolved_codes"].items()
+                    )
+                )
     else:
         lines.append("knowledge: identical")
     for name in diff["only_in_a"]:

@@ -81,8 +81,12 @@ class PipelineContext:
     instructions: list = field(default_factory=list)   # Instruction
     schema_elements: list = field(default_factory=list)
     plan: Plan | None = None
+    #: GP0xx findings on the primary plan (set by the lint_plan operator).
+    plan_findings: list = field(default_factory=list)
     candidates: list = field(default_factory=list)     # candidate SQL strings
     candidate_diagnostics: dict = field(default_factory=dict)  # sql -> [Diagnostic]
+    #: sql -> [PlanFinding] for each candidate's grounding plan.
+    candidate_plan_findings: dict = field(default_factory=dict)
     sql: str = ""
     attempts: list = field(default_factory=list)       # (sql, error) pairs
     lint_caught: int = 0        # candidates rejected by diagnostics pre-execution
@@ -158,6 +162,9 @@ _DIGEST_PAYLOADS = {
         for element in c.schema_elements
     ),
     "plan": lambda c: c.plan.render() if c.plan is not None else "",
+    "lint_plan": lambda c: tuple(
+        (finding.code, finding.step) for finding in c.plan_findings
+    ),
     "generate_sql": lambda c: (tuple(c.candidates), c.sql),
     "self_correct": lambda c: (c.sql, tuple(c.attempts)),
 }

@@ -78,6 +78,15 @@ class SelfCorrectionOperator(Operator):
                         f"attempt {tried} lint-rejected: {summary}",
                     )
                     findings = "\n".join(diag.render() for diag in errors)
+                    plan_errors = self._plan_errors(context, sql)
+                    if plan_errors:
+                        attempt.set_attr(
+                            "plan_codes",
+                            " ".join(f.code for f in plan_errors),
+                        )
+                        findings += "\nPlan findings:\n" + "\n".join(
+                            finding.render() for finding in plan_errors
+                        )
                     context.meter.record(
                         "self_correct", self._model,
                         f"Diagnostics:\n{findings}\nRegenerate the SQL.", sql,
@@ -117,3 +126,16 @@ class SelfCorrectionOperator(Operator):
             f"no candidate executed cleanly after {tried} attempt(s)",
         )
         return context
+
+    @staticmethod
+    def _plan_errors(context, sql):
+        """Error-level GP findings for this candidate's grounding plan.
+
+        Feeds the regeneration context alongside the GE diagnostics — a
+        step that cannot be grounded explains *why* the SQL lints broken,
+        which the paper's regeneration prompt wants spelled out.
+        """
+        findings = context.candidate_plan_findings.get(sql)
+        if findings is None:
+            findings = context.plan_findings
+        return [finding for finding in findings if finding.is_error]

@@ -11,8 +11,10 @@ the self-correction operator can reuse them without re-analyzing.
 from __future__ import annotations
 
 from ..sql.diagnostics import DiagnosticsEngine, severity_score
-from .base import Operator
+from .base import Operator, Plan
 from .builders import build_sql
+from .plan_lint import lint_plan, plan_error_score
+from .planning import build_plan_steps
 from .prompt import assemble_prompt
 
 
@@ -48,6 +50,7 @@ class GenerationOperator(Operator):
         )
         rendered = []
         seen = set()
+        spec_by_sql = {}
         # Without pseudo-SQL the plan steps carry no fragments to anchor
         # alternative groundings, so only the primary candidate is viable.
         candidate_limit = (
@@ -65,6 +68,7 @@ class GenerationOperator(Operator):
             if sql not in seen:
                 seen.add(sql)
                 rendered.append(sql)
+                spec_by_sql[sql] = candidate.spec
         context.candidates = rendered
         context.meter.record(
             "generate_sql",
@@ -79,16 +83,47 @@ class GenerationOperator(Operator):
         for index, sql in enumerate(rendered):
             diagnostics = engine.run_sql(sql)
             context.candidate_diagnostics[sql] = diagnostics
-            scored.append((severity_score(diagnostics), index, sql))
+            plan_findings = self._plan_findings(context, spec_by_sql[sql])
+            context.candidate_plan_findings[sql] = plan_findings
+            scored.append((
+                severity_score(diagnostics),
+                plan_error_score(plan_findings),
+                index,
+                sql,
+            ))
         if scored:
-            best_score, best_index, chosen = min(scored)
+            best_score, best_plan_score, best_index, chosen = min(scored)
             context.sql = chosen
-            context.add_trace(
-                self.name,
+            summary = (
                 f"{len(rendered)} candidate(s); selected #{best_index + 1} "
-                f"with lint score {best_score}",
+                f"with lint score {best_score}"
             )
+            if best_plan_score:
+                summary += f", plan score {best_plan_score}"
+            context.add_trace(self.name, summary)
         else:
             context.sql = ""
             context.add_trace(self.name, "0 candidate(s); nothing selected")
         return context
+
+    def _plan_findings(self, context, spec):
+        """GP0xx findings for the plan a candidate spec renders to.
+
+        The primary candidate's plan is the context plan the ``lint_plan``
+        operator already checked; alternates get a plan built from their
+        own spec so grounding errors rank them behind the primary.
+        """
+        plan = context.plan
+        if plan is not None and spec is plan.spec:
+            return list(context.plan_findings)
+        try:
+            steps = build_plan_steps(
+                spec, use_pseudo_sql=context.config.use_pseudo_sql
+            )
+        except Exception:  # malformed spec — the build above caught worse
+            return []
+        return lint_plan(
+            Plan(steps=steps, spec=spec),
+            context.database,
+            context.schema_elements or None,
+        )

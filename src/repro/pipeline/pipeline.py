@@ -39,6 +39,7 @@ from .examples import ExampleSelectionOperator
 from .generation import GenerationOperator
 from .instructions import InstructionSelectionOperator
 from .intents import IntentClassificationOperator
+from .plan_lint import PlanLintOperator
 from .planning import PlanningOperator
 from .reformulate import ReformulateOperator
 from .schema_linking import SchemaLinkingOperator
@@ -62,6 +63,12 @@ def _degrade_instructions(context):
     context.instructions = []
 
 
+def _degrade_plan_lint(context):
+    # Generation proceeds without plan findings; candidate ranking falls
+    # back to GE diagnostics alone.
+    context.plan_findings = []
+
+
 def _degrade_self_correct(context):
     # The generated candidate stands un-corrected; the final check still
     # decides whether the run succeeded.
@@ -76,6 +83,7 @@ DEGRADATIONS = {
     "classify_intents": _degrade_intents,
     "select_examples": _degrade_examples,
     "select_instructions": _degrade_instructions,
+    "lint_plan": _degrade_plan_lint,
     "self_correct": _degrade_self_correct,
 }
 
@@ -104,6 +112,7 @@ class GenEditPipeline:
             InstructionSelectionOperator(),
             SchemaLinkingOperator(self.llm),
             PlanningOperator(self.llm),
+            PlanLintOperator(),
             GenerationOperator(self.llm),
             SelfCorrectionOperator(self.llm),
         ]

@@ -154,3 +154,77 @@ class TestFeedbackSimulator:
         simulate_feedback_sessions(context=experiment_context, limit=3)
         after = experiment_context.knowledge_sets["sports_holdings"].stats()
         assert before == after
+
+
+class TestEngineStatsIsolation:
+    """reset_engine_stats() at profile boundaries: back-to-back runs must
+    not leak predicate-cache or operator counters into the next payload."""
+
+    COUNTERS = (
+        "columnar_selects", "row_fallback_selects", "error_reruns",
+        "hash_joins", "loop_joins",
+    )
+
+    def _run_workload(self, demo_db):
+        from repro.engine import Executor
+
+        executor = Executor(demo_db)
+        executor.execute(
+            "SELECT EMP_NAME FROM EMP WHERE SALARY > 100"
+        )
+        executor.execute(
+            "SELECT DEPT_NAME, BUDGET FROM DEPT WHERE REGION = 'West'"
+        )
+
+    def test_reset_zeroes_counters_and_predicate_cache(self, demo_db):
+        from repro.engine import (
+            engine_snapshot,
+            reset_engine_stats,
+        )
+
+        reset_engine_stats()
+        self._run_workload(demo_db)
+        polluted = engine_snapshot()
+        assert sum(polluted[key] for key in self.COUNTERS) > 0
+        reset_engine_stats()
+        clean = engine_snapshot()
+        assert all(clean[key] == 0 for key in self.COUNTERS)
+        assert clean["rewrite_s"] == 0.0 and clean["compile_s"] == 0.0
+        assert clean["predicate_cache"]["entries"] == 0
+        assert clean["predicate_cache"]["hits"] == 0
+
+    def test_back_to_back_runs_have_identical_counters(self, demo_db):
+        from repro.engine import (
+            engine_snapshot,
+            reset_engine_stats,
+        )
+
+        reset_engine_stats()
+        self._run_workload(demo_db)
+        first = engine_snapshot()
+        reset_engine_stats()
+        self._run_workload(demo_db)
+        second = engine_snapshot()
+        assert [second[key] for key in self.COUNTERS] == [
+            first[key] for key in self.COUNTERS
+        ]
+        assert second["predicate_cache"] == first["predicate_cache"]
+
+    def test_profile_payload_does_not_inherit_pollution(
+        self, demo_db, experiment_context
+    ):
+        from repro.bench.harness import profile
+        from repro.engine import engine_snapshot
+
+        # Pollute the process-global counters, then take an empty profile:
+        # its engine payload must reflect the reset boundary, not ours.
+        self._run_workload(demo_db)
+        assert sum(
+            engine_snapshot()[key] for key in self.COUNTERS
+        ) > 0
+        payload = profile(
+            context=experiment_context, limit=0, verbose=False
+        )
+        engine = payload["engine"]
+        assert all(engine[key] == 0 for key in self.COUNTERS)
+        assert engine["predicate_cache"]["entries"] == 0

@@ -607,3 +607,56 @@ class TestProfileSchemaCompat:
         assert flip["direction"] == "broke"
         rendered = render_diff(diff)
         assert "broke" in rendered
+
+
+class TestKnowledgeCodeDiff:
+    """`repro diff` surfaces new/resolved GK codes between two records."""
+
+    @staticmethod
+    def _record(lint_codes):
+        from repro.knowledge import KnowledgeSet
+
+        return make_record(
+            [make_outcome()],
+            knowledge_sets={"demo": KnowledgeSet("demo")},
+            knowledge_lint={"demo": lint_codes},
+        )
+
+    def test_record_carries_sorted_lint_codes(self):
+        record = self._record({"GK010": 2, "GK002": 1})
+        assert record["knowledge"]["demo"]["lint_codes"] == {
+            "GK002": 1, "GK010": 2,
+        }
+
+    def test_new_and_resolved_knowledge_codes(self):
+        diff = diff_records(
+            self._record({"GK002": 1}), self._record({"GK010": 2})
+        )
+        change = diff["knowledge_changes"]["demo"]
+        assert change["new_codes"] == {"GK010": 2}
+        assert change["resolved_codes"] == {"GK002": 1}
+        rendered = render_diff(diff)
+        assert "knowledge[demo] new knowledge codes: GK010 (x2)" in rendered
+        assert (
+            "knowledge[demo] resolved knowledge codes: GK002 (x1)"
+            in rendered
+        )
+        # Same fingerprint on both sides: no misleading fingerprint line.
+        assert "knowledge[demo]:" not in rendered
+
+    def test_identical_codes_diff_clean(self):
+        diff = diff_records(
+            self._record({"GK011": 1}), self._record({"GK011": 1})
+        )
+        assert diff["knowledge_changes"] == {}
+        assert "knowledge: identical" in render_diff(diff)
+
+    def test_plan_codes_fold_into_question_code_diff(self):
+        record_a = make_record([make_outcome()])
+        record_b = make_record([make_outcome(correct=False,
+                                             error="result mismatch")])
+        record_b["systems"]["GenEdit"]["outcomes"][0]["plan_codes"] = [
+            "GP002"
+        ]
+        diff = diff_records(record_a, record_b)
+        assert diff["systems"]["GenEdit"]["new_codes"] == {"GP002": 1}

@@ -391,3 +391,54 @@ class TestLintCli:
     def test_unknown_database_exits(self):
         with pytest.raises(SystemExit, match="Unknown database"):
             self.run_cli(["lint", "SELECT 1", "--db", "nope"])
+
+
+class TestSpanStabilityAcrossRewriter:
+    """Execution's optimize-for-execution pass memoizes on the shared
+    parse-cache AST; diagnostics run after an execution must still anchor
+    their spans in the ORIGINAL SQL text, not any rewritten form."""
+
+    @staticmethod
+    def _spans(diagnostics):
+        return [
+            (d.code, d.span.position, d.span.line, d.span.column)
+            for d in diagnostics if d.span is not None
+        ]
+
+    @staticmethod
+    def _assert_spans_index_original(sql, diagnostics):
+        line_starts = [0]
+        for offset, char in enumerate(sql):
+            if char == "\n":
+                line_starts.append(offset + 1)
+        for diag in diagnostics:
+            if diag.span is None:
+                continue
+            assert 0 <= diag.span.position < len(sql)
+            assert diag.span.position == (
+                line_starts[diag.span.line - 1] + diag.span.column - 1
+            )
+
+    def test_warning_spans_survive_execution(self, demo_db, executor):
+        sql = "SELECT EMP_NAME FROM EMP\nWHERE SALARY > 'high'"
+        engine = DiagnosticsEngine(demo_db)
+        before = engine.run_sql(sql)
+        assert self._spans(before)  # the fixture must carry a span
+        executor.execute(sql)  # triggers the execution rewrite pass
+        after = engine.run_sql(sql)
+        assert self._spans(after) == self._spans(before)
+        self._assert_spans_index_original(sql, after)
+
+    def test_error_span_survives_execution_attempt(self, demo_db, executor):
+        sql = "SELECT EMP_NAM FROM EMP"
+        engine = DiagnosticsEngine(demo_db)
+        before = engine.run_sql(sql)
+        with pytest.raises(Exception):
+            executor.execute(sql)
+        after = engine.run_sql(sql)
+        assert self._spans(after) == self._spans(before)
+        (diag,) = [d for d in after if d.code == "GE002"]
+        # The offset must still slice the offending token out of the
+        # original text.
+        start = diag.span.position
+        assert sql[start:start + len("EMP_NAM")] == "EMP_NAM"
