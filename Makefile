@@ -13,6 +13,10 @@
 #                   must still produce an outcome and retries must register
 #   make ledger-smoke - record the same bench run twice into a scratch
 #                   ledger; repro diff must find zero flips (determinism)
+#   make telemetry-smoke - stream Prometheus telemetry from a short bench
+#                   run (output must pass the promtext linter), then
+#                   repro watch over a fresh two-run ledger must report
+#                   zero level shifts
 #   make perf-smoke - columnar micro-ops vs the row oracle; fails if any
 #                   executor op drops below the 1.5x speedup gate
 #   make bench    - regenerate the paper tables
@@ -20,10 +24,10 @@
 PYTHON ?= python
 
 .PHONY: lint compile test lint-corpus knowledge-lint trace-smoke \
-	chaos-smoke ledger-smoke perf-smoke bench
+	chaos-smoke ledger-smoke telemetry-smoke perf-smoke bench
 
 lint: compile test lint-corpus knowledge-lint trace-smoke chaos-smoke \
-	ledger-smoke perf-smoke
+	ledger-smoke telemetry-smoke perf-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -65,6 +69,23 @@ ledger-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro diff --latest \
 		--ledger-dir /tmp/repro-ledger-smoke > /tmp/repro-ledger-smoke.txt
 	grep -q "total: 0 flip(s)" /tmp/repro-ledger-smoke.txt
+
+telemetry-smoke:
+	rm -rf /tmp/repro-telemetry-smoke
+	mkdir -p /tmp/repro-telemetry-smoke
+	PYTHONPATH=src $(PYTHON) -m repro bench table1 --limit 3 \
+		--telemetry-out /tmp/repro-telemetry-smoke/metrics.prom \
+		--ledger-dir /tmp/repro-telemetry-smoke/runs > /dev/null
+	PYTHONPATH=src $(PYTHON) scripts/check_promtext.py \
+		/tmp/repro-telemetry-smoke/metrics.prom
+	PYTHONPATH=src $(PYTHON) -m repro bench table1 --limit 3 \
+		--ledger-dir /tmp/repro-telemetry-smoke/runs > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro watch --json \
+		--ledger-dir /tmp/repro-telemetry-smoke/runs \
+		> /tmp/repro-telemetry-smoke/watch.json
+	grep -q '"alerts": \[\]' /tmp/repro-telemetry-smoke/watch.json
+	PYTHONPATH=src $(PYTHON) -m repro slo examples/slo.yaml \
+		--ledger-dir /tmp/repro-telemetry-smoke/runs > /dev/null
 
 perf-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_columnar_micro.py \

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Lint a Prometheus text-format (v0.0.4) exposition file.
+
+CI gate for ``repro bench --telemetry-out`` output (``make
+telemetry-smoke``): every sample line must parse, and every histogram
+family must be well-formed — ``_bucket`` series with cumulative,
+monotonically non-decreasing counts ending in an ``le="+Inf"`` bucket
+that equals the family's ``_count``, plus exactly one ``_sum`` and one
+``_count`` per label set.
+
+Usage: ``python scripts/check_promtext.py FILE [FILE...]``; exits 1 with
+one ``file:line: message`` per problem. Importable: ``lint_promtext(text)``
+returns the list of problems (the telemetry unit tests reuse it, so the
+exporter and this parser can never drift apart).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_METRIC_NAME})"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    rf"^(?P<name>{_METRIC_NAME})=\"(?P<value>(?:[^\"\\]|\\.)*)\"$"
+)
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _parse_labels(text, problems, where):
+    """``k="v",k2="v2"`` -> dict; reports malformed pairs."""
+    labels = {}
+    if not text:
+        return labels
+    # Split on commas outside quotes.
+    parts = []
+    depth_quote = False
+    current = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and depth_quote:
+            current.append(text[index:index + 2])
+            index += 2
+            continue
+        if char == '"':
+            depth_quote = not depth_quote
+        if char == "," and not depth_quote:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    parts.append("".join(current))
+    for part in parts:
+        match = _LABEL_RE.match(part.strip())
+        if match is None:
+            problems.append(f"{where}: malformed label pair {part!r}")
+            continue
+        labels[match.group("name")] = match.group("value")
+    return labels
+
+
+def _parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(text)
+
+
+def lint_promtext(text, filename="<promtext>"):
+    """Return a list of ``file:line: message`` problems (empty = clean)."""
+    problems = []
+    types = {}
+    # family -> label-key (le removed) -> {"buckets": [(le, value)],
+    #                                      "sum": v or None, "count": ...}
+    histograms = {}
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        where = f"{filename}:{line_number}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split()
+            if len(fields) >= 2 and fields[1] == "TYPE":
+                if len(fields) != 4 or fields[3] not in _TYPES:
+                    problems.append(f"{where}: malformed TYPE line {line!r}")
+                    continue
+                name = fields[2]
+                if name in types:
+                    problems.append(f"{where}: duplicate TYPE for {name}")
+                types[name] = fields[3]
+            # HELP and other comments pass through.
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", problems, where)
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"{where}: bad sample value {match.group('value')!r}"
+            )
+            continue
+        for suffix, field in (("_bucket", "buckets"), ("_sum", "sum"),
+                              ("_count", "count")):
+            family = name[: -len(suffix)]
+            if name.endswith(suffix) and types.get(family) == "histogram":
+                rest = {
+                    label: label_value
+                    for label, label_value in labels.items() if label != "le"
+                }
+                key = tuple(sorted(rest.items()))
+                series = histograms.setdefault(family, {}).setdefault(
+                    key, {"buckets": [], "sum": None, "count": None,
+                          "where": where}
+                )
+                if field == "buckets":
+                    if "le" not in labels:
+                        problems.append(
+                            f"{where}: {name} sample missing an 'le' label"
+                        )
+                    else:
+                        series["buckets"].append((labels["le"], value))
+                elif series[field] is not None:
+                    problems.append(
+                        f"{where}: duplicate {name} for label set {key}"
+                    )
+                else:
+                    series[field] = value
+                break
+
+    for family, by_labels in sorted(histograms.items()):
+        for key, series in sorted(by_labels.items()):
+            where = series["where"]
+            label_text = "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+            if series["sum"] is None:
+                problems.append(
+                    f"{where}: histogram {family}{label_text} has no _sum"
+                )
+            if series["count"] is None:
+                problems.append(
+                    f"{where}: histogram {family}{label_text} has no _count"
+                )
+            buckets = series["buckets"]
+            if not buckets or buckets[-1][0] != "+Inf":
+                problems.append(
+                    f"{where}: histogram {family}{label_text} buckets must "
+                    f"end with le=\"+Inf\""
+                )
+                continue
+            previous = None
+            for le, count in buckets:
+                if previous is not None and count < previous:
+                    problems.append(
+                        f"{where}: histogram {family}{label_text} bucket "
+                        f"le={le} count {count} below previous {previous} "
+                        f"(not cumulative)"
+                    )
+                previous = count
+            if series["count"] is not None \
+                    and buckets[-1][1] != series["count"]:
+                problems.append(
+                    f"{where}: histogram {family}{label_text} +Inf bucket "
+                    f"{buckets[-1][1]} != _count {series['count']}"
+                )
+    return problems
+
+
+def main(argv=None):
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv:
+        print("usage: check_promtext.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    total = 0
+    for path in argv:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"{path}: cannot read ({error})", file=sys.stderr)
+            total += 1
+            continue
+        problems = lint_promtext(text, filename=path)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if not problems:
+            samples = sum(
+                1 for line in text.splitlines()
+                if line.strip() and not line.startswith("#")
+            )
+            print(f"{path}: ok ({samples} sample line(s))")
+        total += len(problems)
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,18 @@ whole invocation as a versioned run record under ``.repro/runs/<run_id>/``
 accounting table, and wall-clock span rollups — for ``python -m repro
 runs|diff|triage``. The record notice goes to stderr; stdout stays
 byte-identical. See DESIGN.md §6d.
+
+Continuous telemetry (DESIGN.md §6g): ``--telemetry-out PATH`` streams
+registry snapshots to ``PATH`` *while the experiment runs* — Prometheus
+text format by default, OTLP-shaped JSON when the path ends in ``.json``
+— refreshed after every finished question-group through a push
+:class:`~repro.obs.telemetry.TelemetrySink` (bounded queue, atomic
+replace-writes, drops counted). ``--profile-sample HZ`` arms the
+wall-clock sampling profiler (:mod:`repro.obs.profiler`) for the whole
+invocation and writes collapsed stacks to ``--profile-out PATH``
+(default ``repro-profile.collapsed``). ``--limit N`` truncates the
+workload to its first N questions for quick smokes. All notices land on
+stderr; the printed tables stay byte-identical.
 """
 
 from __future__ import annotations
@@ -59,7 +71,7 @@ PROFILE_SCHEMA_VERSION = 3
 def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                     system_name, questions=None, cache=None,
                     max_workers=None, trace_sink=None, fault_config=None,
-                    ledger=None, ledger_meta=None):
+                    ledger=None, ledger_meta=None, telemetry=None):
     """Run one system over the workload and return an EvaluationReport.
 
     ``make_pipeline(database, knowledge)`` builds the system under test for
@@ -92,6 +104,14 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
     a single-system run record; the assigned run id lands on
     ``report.run_id``. ``ledger_meta`` may carry ``seed``/``config``/
     ``kind`` plus free-form keys stored under the record's ``extra``.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.TelemetrySink`) gets a
+    registry snapshot pushed after every finished question-group and once
+    more when the system completes, so an external scraper watching the
+    sink's file sees progress *during* a long run, not only at the end.
+    Publishing is non-blocking (a full sink drops the intermediate
+    snapshot — harmless, counters are monotone) and never touches
+    reports or stdout.
     """
     question_list = list(
         questions if questions is not None else workload.questions
@@ -217,6 +237,9 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
                 (position, error_outcome(question, error), None)
                 for position, question in items
             ]
+        finally:
+            if telemetry is not None:
+                telemetry.publish()
 
     if max_workers is None:
         max_workers = min(len(groups) or 1, os.cpu_count() or 1)
@@ -251,6 +274,8 @@ def evaluate_system(make_pipeline, workload, profiles, knowledge_sets,
             "harness.questions_per_s",
             round(len(question_list) / elapsed, 2),
         )
+    if telemetry is not None:
+        telemetry.publish()
     if ledger is not None:
         from ..obs.ledger import build_run_record, build_timing
 
@@ -352,6 +377,7 @@ class ExperimentContext:
         self.cache = EvaluationCache()
         self.trace_sink = None      # set to a list to collect span records
         self.fault_config = None    # set to a FaultConfig to inject chaos
+        self.telemetry_sink = None  # set to a TelemetrySink to stream metrics
         self.timings = {}
         self._workload = None
         self._profiles = None
@@ -419,6 +445,7 @@ def run_genedit(context, config=None, questions=None, system_name="GenEdit",
         cache=context.cache,
         trace_sink=context.trace_sink,
         fault_config=context.fault_config,
+        telemetry=context.telemetry_sink,
     )
 
 
@@ -453,6 +480,7 @@ def table1(context=None, include_baselines=True, verbose=True):
                     cache=context.cache,
                     trace_sink=context.trace_sink,
                     fault_config=context.fault_config,
+                    telemetry=context.telemetry_sink,
                 )
             )
     reports.append(run_genedit(context))
@@ -536,6 +564,7 @@ def crossover(context=None, verbose=True):
             cache=context.cache,
             trace_sink=context.trace_sink,
             fault_config=context.fault_config,
+            telemetry=context.telemetry_sink,
         )
         enterprise_report = evaluate_system(
             builder, enterprise, context.profiles,
@@ -544,6 +573,7 @@ def crossover(context=None, verbose=True):
             cache=context.cache,
             trace_sink=context.trace_sink,
             fault_config=context.fault_config,
+            telemetry=context.telemetry_sink,
         )
         reports[system_name] = (dev_report, enterprise_report)
         rows.append(
@@ -592,6 +622,7 @@ def model_selection(context=None, verbose=True):
             cache=context.cache,
             trace_sink=context.trace_sink,
             fault_config=context.fault_config,
+            telemetry=context.telemetry_sink,
         )
         reports[label] = report
         questions = len(report.outcomes)
@@ -805,13 +836,34 @@ def main(argv=None):
     trace_out, argv = _extract_option(argv, "--trace-out")
     faults, argv = _extract_option(argv, "--faults")
     ledger_dir, argv = _extract_option(argv, "--ledger-dir")
+    telemetry_out, argv = _extract_option(argv, "--telemetry-out")
+    profile_sample, argv = _extract_option(argv, "--profile-sample")
+    profile_out, argv = _extract_option(argv, "--profile-out")
+    limit, argv = _extract_option(argv, "--limit")
     flags = {arg for arg in argv if arg.startswith("--")}
     positional = [arg for arg in argv if not arg.startswith("--")]
     target = positional[0] if positional else "all"
     as_json = "--json" in flags
     context = ExperimentContext()
+    if limit is not None:
+        # Truncate the workload in place before anything derives from it
+        # (knowledge mining included) — a quick, *approximate* run for
+        # smokes; full-workload numbers are the byte-compared ones.
+        del context.workload.questions[max(0, int(limit)):]
     if trace_out is not None:
         context.trace_sink = []
+    if telemetry_out is not None:
+        from ..obs.telemetry import TelemetrySink
+
+        context.telemetry_sink = TelemetrySink(
+            telemetry_out,
+            snapshot_fn=lambda: global_snapshot(context.cache),
+        )
+    sampler = None
+    if profile_sample is not None:
+        from ..obs.profiler import SamplingProfiler
+
+        sampler = SamplingProfiler(hz=float(profile_sample)).start()
     ledger = None
     if (
         ("--ledger" in flags or ledger_dir is not None)
@@ -838,7 +890,8 @@ def main(argv=None):
     if target == "profile":
         profile_payload = profile(context, as_json=as_json)
         _finish(context, flags, trace_out, target, reports=reports,
-                profile_payload=profile_payload, ledger=ledger)
+                profile_payload=profile_payload, ledger=ledger,
+                sampler=sampler, profile_out=profile_out)
         return 0
     if target in ("table1", "all"):
         reports.extend(table1(context))
@@ -862,19 +915,35 @@ def main(argv=None):
         print()
         profile_payload = profile(context, as_json=as_json)
     _finish(context, flags, trace_out, target, reports=reports,
-            profile_payload=profile_payload, ledger=ledger)
+            profile_payload=profile_payload, ledger=ledger,
+            sampler=sampler, profile_out=profile_out)
     return 0
 
 
-def _finish(context, flags, trace_out, target, reports=(),
-            profile_payload=None, ledger=None):
-    """Handle ``--metrics`` / ``--ledger`` / ``--trace-out`` after the run.
+DEFAULT_PROFILE_OUT = "repro-profile.collapsed"
 
-    The ledger-recorded and trace-written notices go to stderr so
-    experiment stdout (the tables the determinism tests byte-compare) is
-    untouched. The run record is written first so the trace export can be
-    stamped with its run id.
+
+def _finish(context, flags, trace_out, target, reports=(),
+            profile_payload=None, ledger=None, sampler=None,
+            profile_out=None):
+    """Handle ``--metrics`` / ``--ledger`` / ``--trace-out`` /
+    ``--telemetry-out`` / ``--profile-sample`` after the run.
+
+    Every notice goes to stderr so experiment stdout (the tables the
+    determinism tests byte-compare) is untouched. The run record is
+    written first so the trace export can be stamped with its run id; the
+    sampler stops before the telemetry sink closes so its final sample
+    counters make the last snapshot.
     """
+    if sampler is not None:
+        sampler.stop()
+        path = profile_out or DEFAULT_PROFILE_OUT
+        stacks = sampler.write(path)
+        print(
+            f"sampled {sampler.sample_count} time(s) at {sampler.hz:g} Hz "
+            f"({stacks} stack(s)) -> {path}",
+            file=sys.stderr,
+        )
     if "--metrics" in flags:
         print()
         print(render_metrics_snapshot(global_snapshot(context.cache)))
@@ -916,6 +985,15 @@ def _finish(context, flags, trace_out, target, reports=(),
         )
         print(
             f"wrote {count} span(s) + metrics snapshot to {trace_out}",
+            file=sys.stderr,
+        )
+    if context.telemetry_sink is not None:
+        sink = context.telemetry_sink
+        sink.close()
+        stats = sink.stats()
+        print(
+            f"telemetry: {stats['writes']} write(s), "
+            f"{stats['dropped']} dropped snapshot(s) -> {sink.path}",
             file=sys.stderr,
         )
 

@@ -15,8 +15,13 @@ within an analytics engine" (§1, §4.2). This CLI is that thin engine:
     python -m repro bench table1 --faults 0.2:7   # chaos run (§6c)
     python -m repro bench table1 --ledger          # persist a run record (§6d)
     python -m repro runs [list|show RUN|gc]        # browse the run ledger
+    python -m repro runs gc --keep-days 14         # age-based retention
     python -m repro diff RUN_A RUN_B               # EX flips + cost deltas
     python -m repro triage RUN                     # cluster a run's failures
+    python -m repro watch [--json]                 # ledger watchdog (§6g)
+    python -m repro dash [--out dash.html]         # self-contained dashboard
+    python -m repro slo slo.yaml                   # SLO/error-budget gate
+    python -m repro bench table1 --telemetry-out m.prom  # live exporter
 
 Databases are the six benchmark profiles; their knowledge sets are mined
 on first use from the benchmark's training logs and documents.
@@ -438,7 +443,12 @@ def cmd_runs(args, out=sys.stdout):
 
     ledger = _open_ledger(args)
     if args.action == "gc":
-        removed = ledger.gc(keep=args.keep)
+        # --keep-days alone is pure age-based retention; --keep alone is
+        # pure count-based (default 20); together, either condemns a run.
+        keep = args.keep
+        if keep is None:
+            keep = 0 if args.keep_days is not None else 20
+        removed = ledger.gc(keep=keep, keep_days=args.keep_days)
         print(
             f"removed {len(removed)} run(s), kept "
             f"{len(ledger.run_ids())}",
@@ -568,6 +578,109 @@ def cmd_triage(args, out=sys.stdout):
     return 0
 
 
+def cmd_watch(args, out=sys.stdout):
+    """Ledger watchdog: robust level-shift alerts over recorded runs.
+
+    Exit 0 when the newest run sits inside every metric's recent band,
+    1 when any *regression* alert fires (EX dropping, cost/latency/error
+    counts rising), 2 when the ledger holds nothing to watch. Improvement
+    shifts are reported but do not fail the gate.
+    """
+    from .obs.timeseries import render_watch, to_json, watch_payload
+
+    ledger = _open_ledger(args)
+    payload = watch_payload(
+        ledger, system=args.system, kind=args.kind,
+        window=args.window, z_threshold=args.threshold,
+        limit=args.limit,
+    )
+    if getattr(args, "json", False):
+        print(to_json(payload), file=out)
+    else:
+        print(render_watch(payload), file=out)
+    if not payload["runs"]:
+        return 2
+    regressions = [
+        alert for alert in payload["alerts"]
+        if alert["severity"] == "regression"
+    ]
+    return 1 if regressions else 0
+
+
+def cmd_dash(args, out=sys.stdout):
+    """Render the ledger as a self-contained HTML dashboard."""
+    from .obs.timeseries import dashboard_from_ledger
+
+    ledger = _open_ledger(args)
+    series, alerts, html = dashboard_from_ledger(
+        ledger, system=args.system, kind=args.kind,
+        window=args.window, z_threshold=args.threshold,
+        limit=args.limit,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(
+        f"wrote {len(series)} metric card(s), {len(alerts)} alert(s) "
+        f"-> {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_slo(args, out=sys.stdout):
+    """Evaluate declarative SLOs; CI exit semantics (1 breach, 2 bad spec).
+
+    By default objectives are checked against the run ledger with
+    multi-window burn rates; ``--trace PATH`` instead checks the metrics
+    snapshot embedded in an exported trace file (point-in-time, no burn
+    rates) — the live-registry view of the run that wrote it.
+    """
+    from .obs.slo import (
+        SloSpecError,
+        any_breach,
+        evaluate_ledger,
+        evaluate_registry,
+        load_slo_specs,
+        render_slo_results,
+    )
+
+    try:
+        specs = load_slo_specs(args.spec)
+    except OSError as error:
+        print(f"error: cannot read {args.spec}: {error}", file=out)
+        return 2
+    except SloSpecError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    if not specs:
+        print(f"error: {args.spec} defines no objectives", file=out)
+        return 2
+    if args.trace:
+        from .obs import load_trace
+
+        try:
+            payload = load_trace(args.trace)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read {args.trace}: {error}", file=out)
+            return 2
+        snapshot = payload.get("metrics")
+        if not snapshot:
+            print(
+                f"error: {args.trace} has no metrics snapshot", file=out
+            )
+            return 2
+        results = evaluate_registry(specs, snapshot)
+    else:
+        results = evaluate_ledger(
+            specs, _open_ledger(args), system=args.system, kind=args.kind
+        )
+    if getattr(args, "json", False):
+        print(json.dumps(results, indent=2, default=str), file=out)
+    else:
+        print(render_slo_results(results), file=out)
+    return 1 if any_breach(results) else 0
+
+
 def cmd_bench(args, out=sys.stdout):
     from .bench.harness import main as harness_main
 
@@ -588,6 +701,14 @@ def cmd_bench(args, out=sys.stdout):
         argv.append("--no-ledger")
     if args.ledger_dir:
         argv.extend(["--ledger-dir", args.ledger_dir])
+    if args.telemetry_out:
+        argv.extend(["--telemetry-out", args.telemetry_out])
+    if args.profile_sample:
+        argv.extend(["--profile-sample", args.profile_sample])
+    if args.profile_out:
+        argv.extend(["--profile-out", args.profile_out])
+    if args.limit is not None:
+        argv.extend(["--limit", str(args.limit)])
     return harness_main(argv)
 
 
@@ -710,8 +831,14 @@ def build_arg_parser():
         help="ledger root (default .repro/runs, or $REPRO_LEDGER_DIR)",
     )
     runs.add_argument(
-        "--keep", type=int, default=20,
-        help="runs to retain on 'gc' (default 20)",
+        "--keep", type=int, default=None,
+        help="runs to retain on 'gc' (default 20; combined with "
+             "--keep-days, a run matching either policy is removed)",
+    )
+    runs.add_argument(
+        "--keep-days", dest="keep_days", type=float, default=None,
+        metavar="N",
+        help="on 'gc', also remove runs created more than N days ago",
     )
     runs.add_argument(
         "--triage", action="store_true",
@@ -755,6 +882,86 @@ def build_arg_parser():
     )
     triage.set_defaults(func=cmd_triage)
 
+    def _watch_common(sub):
+        sub.add_argument(
+            "--system", default=None,
+            help="track this system's series (default: GenEdit when "
+                 "present, else each record's first system)",
+        )
+        sub.add_argument(
+            "--kind", default="bench",
+            help="only fold records of this kind (default 'bench'; "
+                 "pass '' for all)",
+        )
+        sub.add_argument(
+            "--window", type=int, default=20,
+            help="baseline window: prior runs per metric (default 20)",
+        )
+        sub.add_argument(
+            "--threshold", type=float, default=3.5,
+            help="robust z-score alert threshold (default 3.5)",
+        )
+        sub.add_argument(
+            "--limit", type=int, default=None,
+            help="only consider the newest N runs",
+        )
+        sub.add_argument(
+            "--ledger-dir", dest="ledger_dir", metavar="PATH",
+            default=None,
+            help="ledger root (default .repro/runs, or $REPRO_LEDGER_DIR)",
+        )
+
+    watch = commands.add_parser(
+        "watch",
+        help="watch the run ledger for metric level shifts (DESIGN.md §6g)",
+    )
+    _watch_common(watch)
+    watch.add_argument(
+        "--json", action="store_true",
+        help="emit the full watch payload (series + alerts) as JSON",
+    )
+    watch.set_defaults(func=cmd_watch)
+
+    dash = commands.add_parser(
+        "dash", help="write a self-contained HTML dashboard of the ledger"
+    )
+    _watch_common(dash)
+    dash.add_argument(
+        "--out", metavar="PATH", default="repro-dash.html",
+        help="output HTML path (default repro-dash.html)",
+    )
+    dash.set_defaults(func=cmd_dash)
+
+    slo = commands.add_parser(
+        "slo",
+        help="evaluate SLOs/error budgets (exit 1 breach, 2 bad spec)",
+    )
+    slo.add_argument(
+        "spec", help="SLO spec file (JSON or the documented YAML subset)"
+    )
+    slo.add_argument(
+        "--system", default=None,
+        help="ledger system to evaluate (default: GenEdit when present)",
+    )
+    slo.add_argument(
+        "--kind", default="bench",
+        help="only fold ledger records of this kind (default 'bench')",
+    )
+    slo.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="evaluate the metrics snapshot inside this exported trace "
+             "instead of the ledger (point-in-time, no burn rates)",
+    )
+    slo.add_argument(
+        "--json", action="store_true",
+        help="emit evaluation results as JSON",
+    )
+    slo.add_argument(
+        "--ledger-dir", dest="ledger_dir", metavar="PATH", default=None,
+        help="ledger root (default .repro/runs, or $REPRO_LEDGER_DIR)",
+    )
+    slo.set_defaults(func=cmd_slo)
+
     bench = commands.add_parser("bench", help="run a paper experiment")
     bench.add_argument(
         "experiment",
@@ -796,6 +1003,27 @@ def build_arg_parser():
         "--ledger-dir", dest="ledger_dir", metavar="PATH", default=None,
         help="ledger root (default .repro/runs, or $REPRO_LEDGER_DIR); "
              "implies --ledger",
+    )
+    bench.add_argument(
+        "--telemetry-out", dest="telemetry_out", metavar="PATH",
+        default=None,
+        help="stream registry snapshots to PATH while the experiment "
+             "runs (Prometheus text; OTLP JSON when PATH ends in .json)",
+    )
+    bench.add_argument(
+        "--profile-sample", dest="profile_sample", metavar="HZ",
+        default=None,
+        help="sample every thread's stack at HZ for the whole run and "
+             "write collapsed stacks (see --profile-out)",
+    )
+    bench.add_argument(
+        "--profile-out", dest="profile_out", metavar="PATH", default=None,
+        help="collapsed-stack output path "
+             "(default repro-profile.collapsed)",
+    )
+    bench.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="truncate the workload to its first N questions (smokes)",
     )
     bench.set_defaults(func=cmd_bench)
     return parser

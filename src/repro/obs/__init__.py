@@ -14,7 +14,21 @@ any further performance work can be trusted:
 * :mod:`repro.obs.ledger` — the persistent run ledger (versioned run
   records under ``.repro/runs/``), run-to-run diffing with
   first-divergence attribution, cost/token accounting, and failure
-  triage, behind ``python -m repro runs|diff|triage``.
+  triage, behind ``python -m repro runs|diff|triage``;
+* :mod:`repro.obs.telemetry` — streaming exporters: Prometheus text
+  format and OTLP-shaped JSON snapshots of the metrics registry, plus
+  the push-based :class:`~repro.obs.telemetry.TelemetrySink` the harness
+  flushes as it runs;
+* :mod:`repro.obs.timeseries` — the ledger watchdog: folds recorded runs
+  into per-metric time series, flags level shifts with robust z-scores,
+  and renders the self-contained HTML dashboard behind ``python -m repro
+  watch|dash``;
+* :mod:`repro.obs.slo` — declarative SLO specs, error budgets and
+  multi-window burn rates evaluated against the ledger or a live
+  registry snapshot, with CI exit-code semantics (``python -m repro
+  slo``);
+* :mod:`repro.obs.profiler` — a thread-based wall-clock sampling
+  profiler emitting collapsed stacks attributed to the ambient span.
 
 Nothing in this package imports the rest of the repo (one lazily-imported
 cache accessor aside), so any module — parser, engine, pipeline, harness —
@@ -45,6 +59,10 @@ from .metrics import (
     get_metrics,
     global_snapshot,
 )
+from .profiler import (
+    PROFILE_SAMPLE_SCHEMA_VERSION,
+    SamplingProfiler,
+)
 from .render import (
     build_forest,
     load_trace,
@@ -53,12 +71,44 @@ from .render import (
     render_trace_payload,
     write_trace,
 )
+from .slo import (
+    SLO_SCHEMA_VERSION,
+    SloSpec,
+    SloSpecError,
+    any_breach,
+    evaluate_ledger,
+    evaluate_registry,
+    evaluate_slo,
+    load_slo_specs,
+    parse_slo_text,
+    render_slo_results,
+)
+from .telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetrySink,
+    render_otlp,
+    render_promtext,
+    render_snapshot,
+    split_metric_key,
+)
+from .timeseries import (
+    TIMESERIES_SCHEMA_VERSION,
+    dashboard_from_ledger,
+    detect_shifts,
+    ledger_series,
+    record_metrics,
+    render_dashboard,
+    render_watch,
+    robust_zscore,
+    watch_payload,
+)
 from .tracing import (
     TRACE_SCHEMA_VERSION,
     Span,
     SpanEvent,
     Tracer,
     current_span,
+    span_name_for_thread,
 )
 
 __all__ = [
@@ -66,31 +116,59 @@ __all__ = [
     "LEDGER_SCHEMA_VERSION",
     "METRICS",
     "METRICS_SCHEMA_VERSION",
+    "PROFILE_SAMPLE_SCHEMA_VERSION",
+    "SLO_SCHEMA_VERSION",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TIMESERIES_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
     "Histogram",
     "MetricsRegistry",
     "RunLedger",
+    "SamplingProfiler",
+    "SloSpec",
+    "SloSpecError",
     "Span",
     "SpanEvent",
-    "TRACE_SCHEMA_VERSION",
+    "TelemetrySink",
     "Tracer",
+    "any_breach",
     "build_forest",
     "build_run_record",
     "build_timing",
     "config_fingerprint",
     "current_span",
+    "dashboard_from_ledger",
+    "detect_shifts",
     "diff_records",
+    "evaluate_ledger",
+    "evaluate_registry",
+    "evaluate_slo",
     "first_divergence",
     "get_metrics",
     "global_snapshot",
     "golden_queries_from_record",
     "knowledge_fingerprint",
+    "ledger_series",
+    "load_slo_specs",
     "load_trace",
     "outcomes_by_question",
+    "parse_slo_text",
+    "record_metrics",
+    "render_dashboard",
     "render_diff",
     "render_metrics_snapshot",
+    "render_otlp",
+    "render_promtext",
+    "render_slo_results",
+    "render_snapshot",
     "render_span_tree",
     "render_trace_payload",
     "render_triage",
+    "render_watch",
+    "robust_zscore",
+    "span_name_for_thread",
+    "split_metric_key",
     "triage_record",
+    "watch_payload",
     "write_trace",
 ]

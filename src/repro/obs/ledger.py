@@ -37,6 +37,7 @@ records are built from duck-typed reports/outcomes.
 
 from __future__ import annotations
 
+import calendar
 import hashlib
 import json
 import math
@@ -468,10 +469,52 @@ class RunLedger:
             })
         return summaries
 
-    def gc(self, keep=20):
-        """Delete the oldest runs beyond ``keep``; returns removed ids."""
+    def _created_at(self, run_id):
+        """A run's creation time as a Unix timestamp.
+
+        Prefers the meta header's ``created_at``; falls back to the
+        second-resolution UTC stamp the run id leads with, then to the
+        record file's mtime (a run directory is always one of the three).
+        """
+        meta = self._read(run_id, _META_FILE, required=False) or {}
+        for stamp, fmt in (
+            (meta.get("created_at"), "%Y-%m-%dT%H:%M:%SZ"),
+            (run_id.split("-", 1)[0], "%Y%m%dT%H%M%SZ"),
+        ):
+            if not stamp:
+                continue
+            try:
+                return calendar.timegm(time.strptime(stamp, fmt))
+            except ValueError:
+                continue
+        return os.path.getmtime(
+            os.path.join(self.run_dir(run_id), _RECORD_FILE)
+        )
+
+    def gc(self, keep=20, keep_days=None, now=None):
+        """Delete old runs; returns the removed ids, oldest first.
+
+        Two independent retention policies compose: ``keep`` bounds the
+        run *count* (oldest beyond the newest ``keep`` go; ``keep <= 0``
+        disables the count bound when ``keep_days`` is given), and
+        ``keep_days`` bounds *age* — runs created more than that many
+        days before ``now`` (Unix seconds, defaults to the current time)
+        are removed even if they fit the count. A run is deleted when
+        EITHER policy condemns it.
+        """
         run_ids = self.run_ids()
-        removed = run_ids[:-keep] if keep > 0 else run_ids
+        condemned = set()
+        if keep_days is None or keep > 0:
+            condemned.update(run_ids[:-keep] if keep > 0 else run_ids)
+        if keep_days is not None:
+            if now is None:
+                now = time.time()
+            cutoff = now - float(keep_days) * 86400.0
+            condemned.update(
+                run_id for run_id in run_ids
+                if self._created_at(run_id) < cutoff
+            )
+        removed = [run_id for run_id in run_ids if run_id in condemned]
         for run_id in removed:
             shutil.rmtree(self.run_dir(run_id))
         return removed

@@ -24,8 +24,10 @@ import bisect
 import math
 import threading
 
-#: Version of the metrics-snapshot schema (see DESIGN.md).
-METRICS_SCHEMA_VERSION = 1
+#: Version of the metrics-snapshot schema (see DESIGN.md §6g). v2 added
+#: the cumulative ``buckets`` list (with the ``+Inf`` bucket) to histogram
+#: snapshots so Prometheus/OTLP export is well-formed.
+METRICS_SCHEMA_VERSION = 2
 
 #: Default latency buckets, in milliseconds.
 DEFAULT_BUCKETS_MS = (
@@ -79,6 +81,23 @@ class Histogram:
                 return bound
         return self.max
 
+    def cumulative_buckets(self):
+        """``[(upper bound, cumulative count), ...]`` ending with ``+Inf``.
+
+        The Prometheus histogram contract: counts are cumulative and the
+        final ``+Inf`` bucket equals the total observation count, so the
+        overflow bucket (values above the top bound) is never lost in
+        export. Bounds are rendered with ``%g`` (``"0.1"``, ``"10000"``)
+        to keep the snapshot JSON-friendly.
+        """
+        buckets = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            buckets.append((f"{bound:g}", cumulative))
+        buckets.append(("+Inf", self.count))
+        return buckets
+
     def snapshot(self):
         return {
             "count": self.count,
@@ -88,6 +107,10 @@ class Histogram:
             "p50": round(self.quantile(0.50), 4),
             "p90": round(self.quantile(0.90), 4),
             "p99": round(self.quantile(0.99), 4),
+            "buckets": [
+                [le, cumulative]
+                for le, cumulative in self.cumulative_buckets()
+            ],
         }
 
 
@@ -124,6 +147,14 @@ class MetricsRegistry:
             self._gauges[key] = value
 
     def observe(self, name, value, buckets=None, **labels):
+        """Record ``value`` into the histogram named by ``name`` + labels.
+
+        ``buckets`` only takes effect on the observation that *creates*
+        the histogram; passing different bounds for an existing key is a
+        programming error (the recorded distribution would silently keep
+        the first bounds) and raises ``ValueError``. Re-passing the same
+        bounds is fine — call sites may all carry their bucket spec.
+        """
         key = _metric_key(name, labels)
         with self._lock:
             histogram = self._histograms.get(key)
@@ -131,6 +162,13 @@ class MetricsRegistry:
                 histogram = self._histograms[key] = Histogram(
                     buckets or DEFAULT_BUCKETS_MS
                 )
+            elif buckets is not None:
+                bounds = tuple(float(bound) for bound in buckets)
+                if bounds != histogram.bounds:
+                    raise ValueError(
+                        f"histogram {key!r} already exists with bounds "
+                        f"{histogram.bounds}; cannot re-bucket to {bounds}"
+                    )
             histogram.observe(value)
 
     def counter_value(self, name, **labels):

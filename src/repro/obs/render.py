@@ -19,22 +19,35 @@ the metrics snapshot.
 from __future__ import annotations
 
 import json
+import threading
 
 from .tracing import TRACE_SCHEMA_VERSION
 
 #: Attributes too long to inline in the tree are truncated to this length.
 _ATTR_VALUE_LIMIT = 60
 
+#: Serializes whole-file trace exports. Concurrent exporters (a harness
+#: flush racing a profiler-session dump, two CLI threads) each write their
+#: complete record sequence instead of interleaving half-written JSONL
+#: lines into the same path.
+_EXPORT_LOCK = threading.Lock()
+
 
 def write_trace(path, records, metrics=None, meta=None):
-    """Write span ``records`` (+ optional metrics snapshot) as JSONL."""
+    """Write span ``records`` (+ optional metrics snapshot) as JSONL.
+
+    The export runs under a process-wide lock so records are flushed as
+    one atomic sequence — exporting while the sampling profiler (or a
+    second exporter) is running can never produce torn or interleaved
+    lines.
+    """
     header = {
         "type": "meta",
         "schema_version": TRACE_SCHEMA_VERSION,
         "generator": "repro.obs",
     }
     header.update(meta or {})
-    with open(path, "w", encoding="utf-8") as handle:
+    with _EXPORT_LOCK, open(path, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(header, sort_keys=True, default=str) + "\n")
         for record in records:
             handle.write(json.dumps(record, sort_keys=True, default=str))

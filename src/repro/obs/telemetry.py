@@ -1,0 +1,397 @@
+"""Streaming metric exporters: Prometheus text, OTLP JSON, push sink.
+
+PR 3 gave the process a :class:`~repro.obs.metrics.MetricsRegistry`, but
+its snapshots only ever left the process as an end-of-run dump. This
+module is the *streaming* side (DESIGN.md §6g): registry snapshots render
+to the two wire formats serving stacks actually scrape —
+
+* :func:`render_promtext` — Prometheus text exposition format v0.0.4
+  (``# TYPE`` comments, ``_total`` counters, ``_bucket``/``_sum``/
+  ``_count`` histogram families with a ``+Inf`` bucket). The output
+  round-trips through ``scripts/check_promtext.py`` in CI.
+* :func:`render_otlp` — an OTLP-shaped JSON payload (``resourceMetrics``
+  → ``scopeMetrics`` → ``metrics`` with ``sum``/``gauge``/``histogram``
+  data points). "Shaped" because no protobuf toolchain ships with the
+  repo: the JSON mirrors ``ExportMetricsServiceRequest`` closely enough
+  for collectors in JSON mode, with ``timeUnixNano`` pinned to ``"0"``
+  so payloads from identical registries are byte-identical.
+
+:class:`TelemetrySink` is the push half: a bounded-queue background
+thread that writes the newest snapshot to a file atomically (tmp +
+``os.replace``) so a scraper — or ``repro watch`` — never reads a torn
+file. The harness publishes one snapshot per question-group, which turns
+a long bench run into a live metric stream instead of a single
+end-of-run dump. Publishing never blocks: when the queue is full the
+snapshot is dropped and counted (``telemetry.dropped`` in the registry
+plus :meth:`TelemetrySink.stats`), because losing one intermediate
+snapshot of a monotonically-growing registry is harmless while stalling
+the harness is not.
+
+Like the rest of :mod:`repro.obs`, nothing here imports the wider repo.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+
+from .metrics import METRICS_SCHEMA_VERSION, get_metrics
+
+#: Version of the telemetry payload contract (file layout + field names
+#: shared by both exporters). Bump on rename/meaning change.
+TELEMETRY_SCHEMA_VERSION = 1
+
+_CLOSE = object()
+
+
+# -- key handling ------------------------------------------------------------
+
+
+def split_metric_key(key):
+    """``"name{k=v,k2=v2}"`` -> ``(name, {"k": "v", "k2": "v2"})``.
+
+    Inverse of the registry's label folding (``_metric_key``): label
+    values produced there never contain ``,`` or ``}`` (operator names,
+    database names, model names), so a split parse is exact.
+    """
+    name, brace, inner = key.partition("{")
+    if not brace:
+        return key, {}
+    labels = {}
+    for part in inner.rstrip("}").split(","):
+        label, _, value = part.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def sanitize_metric_name(name):
+    """A valid Prometheus metric name: ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    cleaned = "".join(
+        char if char.isalnum() or char in "_:" else "_" for char in name
+    )
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _sanitize_label_name(name):
+    cleaned = "".join(
+        char if char.isalnum() or char == "_" else "_" for char in name
+    )
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label_value(value):
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_labels(labels, extra=None):
+    pairs = dict(labels)
+    if extra:
+        pairs.update(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_label_name(label)}="{_escape_label_value(value)}"'
+        for label, value in sorted(pairs.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return f"{value:.10g}"
+    return str(value)
+
+
+# -- Prometheus text format --------------------------------------------------
+
+
+def render_promtext(snapshot):
+    """Prometheus text exposition format v0.0.4 for a registry snapshot.
+
+    Counters are exported under ``<name>_total`` (the Prometheus naming
+    convention, which also keeps counter/gauge families from colliding),
+    gauges as-is, histograms as ``_bucket``/``_sum``/``_count`` families
+    with cumulative ``le`` buckets ending at ``+Inf`` (requires the
+    schema-v2 snapshot ``buckets`` field). Families sharing a base name
+    across label sets get one ``# TYPE`` line each.
+    """
+    lines = []
+    typed = set()
+
+    def emit_type(name, kind):
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in (snapshot.get("counters") or {}).items():
+        raw_name, labels = split_metric_key(key)
+        name = sanitize_metric_name(raw_name) + "_total"
+        emit_type(name, "counter")
+        lines.append(f"{name}{_format_labels(labels)} {_format_value(value)}")
+    for key, value in (snapshot.get("gauges") or {}).items():
+        raw_name, labels = split_metric_key(key)
+        name = sanitize_metric_name(raw_name)
+        emit_type(name, "gauge")
+        lines.append(f"{name}{_format_labels(labels)} {_format_value(value)}")
+    for key, entry in (snapshot.get("histograms") or {}).items():
+        raw_name, labels = split_metric_key(key)
+        name = sanitize_metric_name(raw_name)
+        emit_type(name, "histogram")
+        buckets = entry.get("buckets") or [["+Inf", entry.get("count", 0)]]
+        for le, cumulative in buckets:
+            lines.append(
+                f"{name}_bucket{_format_labels(labels, {'le': le})} "
+                f"{_format_value(cumulative)}"
+            )
+        lines.append(
+            f"{name}_sum{_format_labels(labels)} "
+            f"{_format_value(entry.get('sum', 0.0))}"
+        )
+        lines.append(
+            f"{name}_count{_format_labels(labels)} "
+            f"{_format_value(entry.get('count', 0))}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# -- OTLP-shaped JSON --------------------------------------------------------
+
+
+def _otlp_attributes(labels):
+    return [
+        {"key": label, "value": {"stringValue": str(value)}}
+        for label, value in sorted(labels.items())
+    ]
+
+
+def _otlp_number(value):
+    if isinstance(value, float):
+        return {"asDouble": value}
+    return {"asInt": str(value)}
+
+
+def render_otlp(snapshot):
+    """An OTLP ``ExportMetricsServiceRequest``-shaped dict (JSON-ready).
+
+    Counters become monotonic cumulative ``sum`` metrics, gauges become
+    ``gauge``, histograms become cumulative ``histogram`` data points
+    with *non*-cumulative ``bucketCounts`` (the OTLP convention, length
+    ``len(explicitBounds) + 1``) derived from the snapshot's cumulative
+    buckets. ``timeUnixNano`` is pinned to ``"0"`` for determinism —
+    stamp real times at ingest if a collector needs them.
+    """
+    groups = {}
+
+    def data_point(labels, body):
+        point = {"attributes": _otlp_attributes(labels),
+                 "timeUnixNano": "0"}
+        point.update(body)
+        return point
+
+    for key, value in (snapshot.get("counters") or {}).items():
+        name, labels = split_metric_key(key)
+        metric = groups.setdefault(("sum", name), {
+            "name": sanitize_metric_name(name),
+            "sum": {"dataPoints": [], "aggregationTemporality": 2,
+                    "isMonotonic": True},
+        })
+        metric["sum"]["dataPoints"].append(
+            data_point(labels, _otlp_number(value))
+        )
+    for key, value in (snapshot.get("gauges") or {}).items():
+        name, labels = split_metric_key(key)
+        metric = groups.setdefault(("gauge", name), {
+            "name": sanitize_metric_name(name),
+            "gauge": {"dataPoints": []},
+        })
+        metric["gauge"]["dataPoints"].append(
+            data_point(labels, _otlp_number(value))
+        )
+    for key, entry in (snapshot.get("histograms") or {}).items():
+        name, labels = split_metric_key(key)
+        metric = groups.setdefault(("histogram", name), {
+            "name": sanitize_metric_name(name),
+            "histogram": {"dataPoints": [], "aggregationTemporality": 2},
+        })
+        cumulative = entry.get("buckets") or []
+        bounds = [float(le) for le, _count in cumulative if le != "+Inf"]
+        counts = []
+        previous = 0
+        for _le, running in cumulative:
+            counts.append(running - previous)
+            previous = running
+        metric["histogram"]["dataPoints"].append(data_point(labels, {
+            "count": str(entry.get("count", 0)),
+            "sum": entry.get("sum", 0.0),
+            "bucketCounts": [str(count) for count in counts],
+            "explicitBounds": bounds,
+        }))
+    metrics = [groups[group_key] for group_key in sorted(groups)]
+    return {
+        "resourceMetrics": [{
+            "resource": {"attributes": [{
+                "key": "service.name",
+                "value": {"stringValue": "repro"},
+            }]},
+            "scopeMetrics": [{
+                "scope": {
+                    "name": "repro.obs",
+                    "version": str(METRICS_SCHEMA_VERSION),
+                },
+                "metrics": metrics,
+            }],
+        }],
+    }
+
+
+# -- the push sink -----------------------------------------------------------
+
+
+def atomic_write_text(path, text):
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = os.path.join(
+        directory, f".{os.path.basename(path)}.{os.getpid()}.tmp"
+    )
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(tmp_path, path)
+
+
+def render_snapshot(snapshot, fmt):
+    """Render a snapshot in ``"prom"`` or ``"otlp"`` format."""
+    if fmt == "prom":
+        return render_promtext(snapshot)
+    if fmt == "otlp":
+        return json.dumps(render_otlp(snapshot), indent=1, sort_keys=True) \
+            + "\n"
+    raise ValueError(f"unknown telemetry format {fmt!r}")
+
+
+def format_for_path(path):
+    """``"otlp"`` for ``.json`` paths, ``"prom"`` otherwise."""
+    return "otlp" if str(path).endswith(".json") else "prom"
+
+
+class TelemetrySink:
+    """Bounded-queue push exporter: newest snapshot wins, writes atomic.
+
+    ``publish()`` enqueues a snapshot (or calls ``snapshot_fn`` to take
+    one) and returns immediately; the worker thread drains the queue and
+    rewrites ``path``. A full queue drops the publish and counts it —
+    the next successful publish carries strictly more information, so a
+    drop never loses a counter increment, only an intermediate view.
+    ``close()`` drains outstanding snapshots, writes one final snapshot
+    (so the file always reflects end-of-run state), and joins the worker.
+    """
+
+    def __init__(self, path, fmt=None, snapshot_fn=None, maxsize=8,
+                 registry=None):
+        self.path = str(path)
+        self.fmt = fmt or format_for_path(path)
+        render_snapshot({}, self.fmt)  # validate fmt eagerly
+        self._snapshot_fn = snapshot_fn
+        self._registry = registry or get_metrics()
+        self._queue = queue.Queue(maxsize=maxsize)
+        self._lock = threading.Lock()
+        self._published = 0
+        self._dropped = 0
+        self._writes = 0
+        self._write_errors = 0
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="telemetry-sink", daemon=True
+        )
+        self._worker.start()
+
+    def _take_snapshot(self):
+        if self._snapshot_fn is not None:
+            return self._snapshot_fn()
+        return self._registry.snapshot()
+
+    def publish(self, snapshot=None):
+        """Enqueue a snapshot for export; never blocks. True if queued."""
+        with self._lock:
+            if self._closed:
+                return False
+        if snapshot is None:
+            snapshot = self._take_snapshot()
+        try:
+            self._queue.put_nowait(snapshot)
+        except queue.Full:
+            with self._lock:
+                self._dropped += 1
+            self._registry.inc("telemetry.dropped")
+            return False
+        with self._lock:
+            self._published += 1
+        return True
+
+    def _run(self):
+        while True:
+            item = self._queue.get()
+            if item is _CLOSE:
+                return
+            # Coalesce: if more snapshots are already queued, the newest
+            # supersedes this one — skip straight to it.
+            while True:
+                try:
+                    newer = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if newer is _CLOSE:
+                    self._write(item)
+                    return
+                item = newer
+            self._write(item)
+
+    def _write(self, snapshot):
+        try:
+            atomic_write_text(self.path, render_snapshot(snapshot, self.fmt))
+        except OSError:
+            with self._lock:
+                self._write_errors += 1
+            self._registry.inc("telemetry.write_errors")
+        else:
+            with self._lock:
+                self._writes += 1
+
+    def close(self, timeout=10.0):
+        """Flush a final snapshot, stop the worker, join it."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        final = self._take_snapshot()
+        self._queue.put(final)      # blocking put: the final state must land
+        self._queue.put(_CLOSE)
+        self._worker.join(timeout=timeout)
+
+    def stats(self):
+        with self._lock:
+            return {
+                "published": self._published,
+                "dropped": self._dropped,
+                "writes": self._writes,
+                "write_errors": self._write_errors,
+            }
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc_info):
+        self.close()

@@ -228,8 +228,22 @@ class GenEditPipeline:
                     ),
                 )
             root.inc_attr("llm.cost_usd", context.meter.total_cost_usd)
+            root.inc_attr(
+                "llm.input_tokens",
+                sum(call.input_tokens for call in context.meter.calls),
+            )
+            root.inc_attr(
+                "llm.output_tokens",
+                sum(call.output_tokens for call in context.meter.calls),
+            )
         metrics.inc("pipeline.runs")
         metrics.observe("pipeline.generate_ms", root.duration_ms)
+        # Per-question cost distribution — the SLO engine's cost-per-question
+        # objective reads this family's mean (sum/count) from live snapshots.
+        metrics.observe(
+            "pipeline.cost_usd", context.meter.total_cost_usd,
+            buckets=(0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1),
+        )
         return GenerationResult(
             question=question,
             sql=context.sql,

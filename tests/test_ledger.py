@@ -147,6 +147,57 @@ class TestRunLedgerStore:
         assert removed == ids[:2]
         assert ledger.run_ids() == [ids[2]]
 
+    @staticmethod
+    def _age_run(ledger, run_id, created_at):
+        import os
+
+        meta_path = os.path.join(ledger.run_dir(run_id), "meta.json")
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta["created_at"] = created_at
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+
+    def test_gc_keep_days_removes_only_old_runs(self, tmp_path):
+        import calendar
+        import time
+
+        ledger = RunLedger(tmp_path / "runs")
+        old_id = ledger.record_run(make_record([make_outcome(cost=0.01)]))
+        new_id = ledger.record_run(make_record([make_outcome(cost=0.02)]))
+        self._age_run(ledger, old_id, "2026-01-01T00:00:00Z")
+        now = calendar.timegm(
+            time.strptime("2026-01-20T00:00:00Z", "%Y-%m-%dT%H:%M:%SZ")
+        )
+        removed = ledger.gc(keep=0, keep_days=7, now=now)
+        assert removed == [old_id]
+        assert ledger.run_ids() == [new_id]
+
+    def test_gc_keep_days_spares_recent_runs(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.record_run(make_record([make_outcome()]))
+        ledger.record_run(make_record([make_outcome(cost=0.02)]))
+        assert ledger.gc(keep=0, keep_days=7) == []
+        assert len(ledger.run_ids()) == 2
+
+    def test_gc_count_and_age_policies_compose(self, tmp_path):
+        import calendar
+        import time
+
+        ledger = RunLedger(tmp_path / "runs")
+        ids = [
+            ledger.record_run(make_record([make_outcome(cost=0.01 * n)]))
+            for n in range(1, 4)
+        ]
+        # ids[1] is inside the count bound but over the age bound.
+        self._age_run(ledger, ids[1], "2026-01-01T00:00:00Z")
+        now = calendar.timegm(
+            time.strptime("2026-02-01T00:00:00Z", "%Y-%m-%dT%H:%M:%SZ")
+        )
+        removed = ledger.gc(keep=2, keep_days=7, now=now)
+        assert removed == ids[:2]
+        assert ledger.run_ids() == [ids[2]]
+
     def test_list_runs_summaries(self, tmp_path):
         ledger = RunLedger(tmp_path / "runs")
         run_id = ledger.record_run(make_record([make_outcome()]))

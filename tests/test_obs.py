@@ -184,7 +184,32 @@ class TestHistogram:
         assert snapshot == {
             "count": 1, "sum": 4.0, "min": 4.0, "max": 4.0,
             "p50": 10.0, "p90": 10.0, "p99": 10.0,
+            "buckets": [["10", 1], ["+Inf", 1]],
         }
+
+    def test_snapshot_buckets_are_cumulative_with_inf(self):
+        """The +Inf bucket equals the total count (Prometheus contract)."""
+        histogram = Histogram(bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0, 100.0):
+            histogram.observe(value)
+        assert histogram.snapshot()["buckets"] == [
+            ["1", 1], ["2", 2], ["+Inf", 4]
+        ]
+
+    def test_empty_snapshot_has_well_formed_buckets(self):
+        """Empty histograms export zero buckets, never NaN or errors."""
+        snapshot = Histogram(bounds=(1.0,)).snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p99"] == 0.0
+        assert snapshot["buckets"] == [["1", 0], ["+Inf", 0]]
+
+    def test_quantile_above_top_bucket_is_observed_max(self):
+        """Values beyond the top bound report the true max, not +Inf."""
+        histogram = Histogram(bounds=(1.0,))
+        for value in (50.0, 60.0, 70.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 70.0
+        assert histogram.quantile(0.99) == 70.0
 
     def test_bounds_must_increase(self):
         with pytest.raises(ValueError):
@@ -215,7 +240,27 @@ class TestMetricsRegistry:
         snapshot = registry.snapshot()
         assert snapshot["gauges"]["rate"] == 12.5
         assert snapshot["histograms"]["latency"]["count"] == 1
-        assert snapshot["schema_version"] == 1
+        assert snapshot["schema_version"] == 2
+
+    def test_rebucketing_an_existing_histogram_raises(self):
+        """Conflicting custom buckets are an error, never silently ignored."""
+        registry = MetricsRegistry()
+        registry.observe("latency", 3.0, buckets=(5.0, 10.0))
+        with pytest.raises(ValueError, match="latency"):
+            registry.observe("latency", 4.0, buckets=(1.0, 2.0))
+        # Same bounds re-passed is fine (call sites carry their spec)...
+        registry.observe("latency", 4.0, buckets=(5.0, 10.0))
+        # ...as is omitting the bounds once the histogram exists.
+        registry.observe("latency", 5.0)
+        assert registry.histogram("latency").count == 3
+
+    def test_rebucketing_conflict_is_scoped_by_labels(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 3.0, buckets=(5.0,), op="a")
+        # A different label set is a different histogram: no conflict.
+        registry.observe("latency", 3.0, buckets=(7.0,), op="b")
+        with pytest.raises(ValueError):
+            registry.observe("latency", 3.0, buckets=(9.0,), op="a")
 
     def test_reset(self):
         registry = MetricsRegistry()

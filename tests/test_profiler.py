@@ -1,0 +1,211 @@
+"""Sampling profiler tests: stack capture, attribution, output, safety.
+
+Covers DESIGN.md §6g's profiler — wall-clock sampling via
+``sys._current_frames`` with ``thread:``/``span:`` root attribution,
+the collapsed-stack output format, and the export-lock guarantee that
+``write_trace`` stays atomic while the sampler (or a second exporter)
+is running concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    DEFAULT_HZ,
+    PROFILE_SAMPLE_SCHEMA_VERSION,
+    SamplingProfiler,
+    collapse_frame,
+)
+from repro.obs.render import load_trace, write_trace
+from repro.obs.tracing import Tracer
+
+
+def _busy_loop(stop_event):
+    total = 0
+    while not stop_event.is_set():
+        total += sum(range(200))
+    return total
+
+
+def _run_profiled(target, hz=400.0, duration=0.25, name="busy-worker"):
+    """Profile ``target(stop_event)`` on a named thread for ``duration``."""
+    stop_event = threading.Event()
+    worker = threading.Thread(target=target, args=(stop_event,), name=name)
+    profiler = SamplingProfiler(hz=hz)
+    worker.start()
+    try:
+        with profiler:
+            time.sleep(duration)
+    finally:
+        stop_event.set()
+        worker.join()
+    return profiler
+
+
+class TestLifecycle:
+    def test_non_positive_hz_rejected(self):
+        with pytest.raises(ValueError, match="sampling rate"):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError, match="sampling rate"):
+            SamplingProfiler(hz=-5)
+
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler(hz=50).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_without_start_is_a_noop(self):
+        profiler = SamplingProfiler(hz=50)
+        assert profiler.stop() is profiler
+
+    def test_default_rate_is_prime(self):
+        assert DEFAULT_HZ == 97.0
+
+    def test_interval_is_inverse_rate(self):
+        assert SamplingProfiler(hz=200).interval == 0.005
+
+
+class TestSampling:
+    def test_busy_thread_is_captured_with_thread_root(self):
+        profiler = _run_profiled(_busy_loop)
+        assert profiler.sample_count > 0
+        assert profiler.stack_count >= profiler.sample_count
+        busy_stacks = [
+            stack for stack in profiler.samples()
+            if stack[0] == "thread:busy-worker"
+        ]
+        assert busy_stacks
+        assert any(
+            "test_profiler._busy_loop" in stack for stack in busy_stacks
+        )
+
+    def test_own_sampler_thread_is_excluded(self):
+        profiler = _run_profiled(_busy_loop)
+        assert not any(
+            stack[0] == "thread:sampling-profiler"
+            for stack in profiler.samples()
+        )
+
+    def test_span_attribution_from_ambient_stack(self):
+        tracer = Tracer()
+
+        def traced_busy(stop_event):
+            with tracer.span("generate"):
+                _busy_loop(stop_event)
+
+        profiler = _run_profiled(traced_busy, name="pipeline-worker")
+        attributed = [
+            stack for stack in profiler.samples()
+            if stack[0] == "thread:pipeline-worker"
+            and len(stack) > 1 and stack[1] == "span:generate"
+        ]
+        assert attributed
+        assert profiler.hot_spans().get("generate", 0) > 0
+
+    def test_wall_clock_is_recorded(self):
+        profiler = _run_profiled(_busy_loop, duration=0.1)
+        assert profiler.wall_s >= 0.1
+
+    def test_collapse_frame_is_root_first(self):
+        import sys
+
+        frame = sys._getframe()
+        labels = collapse_frame(frame)
+        assert labels[-1] == "test_profiler.test_collapse_frame_is_root_first"
+        assert len(labels) >= 2
+
+
+class TestOutput:
+    def _canned(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler._samples = {
+            ("thread:a", "mod.outer", "mod.inner"): 2,
+            ("thread:b", "mod.other"): 5,
+        }
+        profiler.sample_count = 5
+        profiler.stack_count = 7
+        return profiler
+
+    def test_collapsed_format_and_ordering(self):
+        text = self._canned().collapsed()
+        assert text == (
+            "thread:b;mod.other 5\n"
+            "thread:a;mod.outer;mod.inner 2\n"
+        )
+
+    def test_collapsed_empty_profile_is_empty(self):
+        assert SamplingProfiler(hz=100).collapsed() == ""
+
+    def test_write_emits_header_plus_body(self, tmp_path):
+        profiler = self._canned()
+        path = tmp_path / "profile.collapsed"
+        assert profiler.write(path) == 7
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith(
+            f"# repro.obs.profiler v{PROFILE_SAMPLE_SCHEMA_VERSION} hz=100"
+        )
+        assert "samples=5" in lines[0]
+        assert "stacks=7" in lines[0]
+        assert lines[1:] == [
+            "thread:b;mod.other 5",
+            "thread:a;mod.outer;mod.inner 2",
+        ]
+
+    def test_hot_spans_counts_span_roots(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler._samples = {
+            ("thread:a", "span:generate", "mod.f"): 3,
+            ("thread:a", "span:generate", "mod.g"): 2,
+            ("thread:b", "span:plan", "mod.h"): 1,
+            ("thread:c", "mod.unattributed"): 9,
+        }
+        assert profiler.hot_spans() == {"generate": 5, "plan": 1}
+
+
+class TestTraceExportUnderSampling:
+    def test_concurrent_write_trace_stays_parseable(self, tmp_path):
+        """Satellite: the export lock keeps JSONL whole under the sampler.
+
+        Two exporter threads hammer the same trace path while the
+        profiler samples at high rate; every intermediate state of the
+        file is a complete record sequence, so the final parse (and a
+        mid-flight parse) must succeed with intact span records.
+        """
+        tracer = Tracer()
+        for index in range(20):
+            with tracer.span(f"op-{index}", index=index):
+                pass
+        records = tracer.to_records()
+        path = tmp_path / "trace.jsonl"
+        errors = []
+
+        def exporter():
+            try:
+                for _ in range(30):
+                    write_trace(path, records, metrics={"counters": {}})
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        with SamplingProfiler(hz=500):
+            threads = [
+                threading.Thread(target=exporter, name=f"exporter-{i}")
+                for i in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert errors == []
+        trace = load_trace(path)
+        assert len(trace["spans"]) == 20
+        assert trace["metrics"] == {"counters": {}}
+        assert {span["name"] for span in trace["spans"]} \
+            == {f"op-{index}" for index in range(20)}

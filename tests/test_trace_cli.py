@@ -6,7 +6,7 @@ import json
 from repro.bench.cache import EvaluationCache
 from repro.bench.harness import evaluate_system
 from repro.cli import build_arg_parser, cmd_trace
-from repro.obs import global_snapshot, load_trace, write_trace
+from repro.obs import METRICS_SCHEMA_VERSION, global_snapshot, load_trace, write_trace
 from repro.pipeline import GenEditPipeline
 
 
@@ -29,7 +29,7 @@ class TestJsonlRoundTrip:
         assert payload["meta"]["schema_version"] == 1
         assert payload["meta"]["question"] == "How many teams are there?"
         assert len(payload["spans"]) == count == len(result.trace_records())
-        assert payload["metrics"]["schema_version"] == 1
+        assert payload["metrics"]["schema_version"] == METRICS_SCHEMA_VERSION
 
     def test_one_json_object_per_line(self, sports_pipeline, tmp_path):
         path = tmp_path / "run.jsonl"
