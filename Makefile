@@ -19,15 +19,20 @@
 #                   zero level shifts
 #   make perf-smoke - columnar micro-ops vs the row oracle; fails if any
 #                   executor op drops below the 1.5x speedup gate
+#   make serve-smoke - boot the HTTP service in-process on an ephemeral
+#                   port, drive a loadgen burst + backpressure probe
+#                   (all non-probe traffic 2xx, probe must see a 429),
+#                   check the telemetry flush, then sweep the workload at
+#                   concurrency 1 and 8: repro diff must find zero flips
 #   make bench    - regenerate the paper tables
 
 PYTHON ?= python
 
 .PHONY: lint compile test lint-corpus knowledge-lint trace-smoke \
-	chaos-smoke ledger-smoke telemetry-smoke perf-smoke bench
+	chaos-smoke ledger-smoke telemetry-smoke perf-smoke serve-smoke bench
 
 lint: compile test lint-corpus knowledge-lint trace-smoke chaos-smoke \
-	ledger-smoke telemetry-smoke perf-smoke
+	ledger-smoke telemetry-smoke perf-smoke serve-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -90,6 +95,27 @@ telemetry-smoke:
 perf-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_columnar_micro.py \
 		-q -s -p no:cacheprovider
+
+serve-smoke:
+	rm -rf /tmp/repro-serve-smoke
+	mkdir -p /tmp/repro-serve-smoke
+	PYTHONPATH=src $(PYTHON) -m repro loadgen --self --check --probe \
+		--requests 30 --concurrency 4 --workers 2 --queue-depth 2 \
+		--telemetry-out /tmp/repro-serve-smoke/metrics.prom \
+		energy_grid sports_holdings > /tmp/repro-serve-smoke/burst.txt
+	grep -q "p99" /tmp/repro-serve-smoke/burst.txt
+	PYTHONPATH=src $(PYTHON) scripts/check_promtext.py \
+		/tmp/repro-serve-smoke/metrics.prom
+	PYTHONPATH=src $(PYTHON) -m repro loadgen --self --check --sweep \
+		--concurrency 1 --ledger-dir /tmp/repro-serve-smoke/runs \
+		energy_grid sports_holdings > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro loadgen --self --check --sweep \
+		--concurrency 8 --ledger-dir /tmp/repro-serve-smoke/runs \
+		energy_grid sports_holdings > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro diff --latest \
+		--ledger-dir /tmp/repro-serve-smoke/runs \
+		> /tmp/repro-serve-smoke/diff.txt
+	grep -q "total: 0 flip(s)" /tmp/repro-serve-smoke/diff.txt
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench all

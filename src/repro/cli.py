@@ -33,6 +33,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 from .bench.bird import build_knowledge_sets, build_workload
 from .bench.schemas import DATABASE_NAMES, build_all
@@ -712,6 +713,74 @@ def cmd_bench(args, out=sys.stdout):
     return harness_main(argv)
 
 
+def cmd_serve(args, out=sys.stdout):
+    """Run the GenEdit service until interrupted, then drain gracefully."""
+    from .serve import ServeApp, ServerThread
+
+    app = ServeApp(
+        databases=args.databases or None,
+        seed=args.seed,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        deadline_ms=args.deadline_ms,
+        ledger_dir=args.ledger_dir,
+        record_runs=bool(args.ledger_dir),
+        telemetry_out=args.telemetry_out,
+        trace_out=args.trace_out,
+    )
+    server = ServerThread(app, host=args.host, port=args.port).start()
+    print(
+        f"serving {', '.join(app.databases)} on {server.address} "
+        f"({args.workers} worker(s), queue depth {args.queue_depth})",
+        file=out,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("draining...", file=out)
+    drained = server.stop()
+    if app.last_run_id:
+        print(f"recorded serve run {app.last_run_id}", file=out)
+    print("drained" if drained else "drain timed out", file=out)
+    return 0 if drained else 1
+
+
+def cmd_loadgen(args, out=sys.stdout):
+    """Benchmark a serve endpoint (or --self-boot one) and report QPS."""
+    from .serve.loadgen import check_report, run_loadgen
+
+    report = run_loadgen(
+        host=args.host,
+        port=0 if args.self_serve else args.port,
+        databases=args.databases or None,
+        seed=args.seed,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        skew=args.skew,
+        sweep=args.sweep,
+        probe=args.probe,
+        self_serve=args.self_serve,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        ledger_dir=args.ledger_dir,
+        telemetry_out=args.telemetry_out,
+        out=lambda line: print(line, file=out),
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    if args.check:
+        failures = check_report(
+            report, sweep=args.sweep, probed=args.probe
+        )
+        for failure in failures:
+            print(f"loadgen: FAIL {failure}", file=out)
+        if failures:
+            return 1
+        print("loadgen: all checks passed", file=out)
+    return 0
+
+
 def build_arg_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1026,6 +1095,109 @@ def build_arg_parser():
         help="truncate the workload to its first N questions (smokes)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    serve = commands.add_parser(
+        "serve", help="run the GenEdit HTTP service (DESIGN.md §6h)"
+    )
+    serve.add_argument(
+        "databases", nargs="*", metavar="DATABASE",
+        help=f"tenants to serve (default: all of "
+             f"{', '.join(DATABASE_NAMES)})",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="pipeline worker threads (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth", dest="queue_depth", type=int, default=8,
+        help="admitted requests beyond the workers before 429 (default 8)",
+    )
+    serve.add_argument(
+        "--deadline-ms", dest="deadline_ms", type=float, default=30_000.0,
+        help="per-request deadline; also the pipelines' retry timeout",
+    )
+    serve.add_argument(
+        "--ledger-dir", dest="ledger_dir", metavar="PATH", default=None,
+        help="record benchmark traffic as a serve run in this ledger",
+    )
+    serve.add_argument(
+        "--telemetry-out", dest="telemetry_out", metavar="PATH",
+        default=None,
+        help="stream the metrics snapshot to PATH (.prom or .json)",
+    )
+    serve.add_argument(
+        "--trace-out", dest="trace_out", metavar="PATH", default=None,
+        help="export the server's request spans on shutdown",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive a serve endpoint and report QPS/p50/p99"
+    )
+    loadgen.add_argument(
+        "databases", nargs="*", metavar="DATABASE",
+        help="databases whose workload questions to send "
+             "(default: the server's tenants with --self, else required)",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument(
+        "--port", type=int, default=8765,
+        help="target port (ignored with --self: an ephemeral port is used)",
+    )
+    loadgen.add_argument(
+        "--self", dest="self_serve", action="store_true",
+        help="boot an in-process server first, drain it after",
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=50,
+        help="requests to send in the skewed mix (default 50)",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=4,
+        help="closed-loop client workers (default 4)",
+    )
+    loadgen.add_argument(
+        "--skew", type=float, default=1.2,
+        help="Zipf exponent for the question mix (default 1.2)",
+    )
+    loadgen.add_argument(
+        "--sweep", action="store_true",
+        help="send every workload question once with gold SQL "
+             "(EX-scored, ledger-comparable)",
+    )
+    loadgen.add_argument(
+        "--probe", action="store_true",
+        help="burst past capacity until admission control answers 429",
+    )
+    loadgen.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on non-2xx traffic, sweep scoring gaps, "
+             "or a silent probe",
+    )
+    loadgen.add_argument(
+        "--workers", type=int, default=4,
+        help="server worker threads (--self only)",
+    )
+    loadgen.add_argument(
+        "--queue-depth", dest="queue_depth", type=int, default=8,
+        help="server queue depth (--self only)",
+    )
+    loadgen.add_argument(
+        "--ledger-dir", dest="ledger_dir", metavar="PATH", default=None,
+        help="ledger for the server's serve run (--self only)",
+    )
+    loadgen.add_argument(
+        "--telemetry-out", dest="telemetry_out", metavar="PATH",
+        default=None,
+        help="server telemetry stream (--self only)",
+    )
+    loadgen.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON",
+    )
+    loadgen.set_defaults(func=cmd_loadgen)
     return parser
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import datetime
 import re
+import threading
 
 from ..sql import ast_nodes as ast
 from .aggregates import compute_aggregate, is_aggregate_function
@@ -790,7 +791,15 @@ def compile_vector(node, schema, has_outer, bound_ids=frozenset()):
 # with respect to everything except the schema they were resolved against,
 # so they are cached per (database name+version, FROM-schema signature,
 # expression digest) and shared across executor instances.
+#
+# The serving layer executes on a thread pool, so cache lookups, counter
+# updates, the cap-triggered clear, and reset_engine_stats() can all race.
+# _CACHE_LOCK serialises every touch of _COMPILED_CACHE/_COMPILED_STATS;
+# the compile itself (the expensive part) runs outside the lock, so at
+# worst two threads compile the same key once each and the second insert
+# wins — identical closures either way.
 
+_CACHE_LOCK = threading.Lock()
 _COMPILED_CACHE = {}
 _COMPILED_CACHE_CAP = 4096
 _COMPILED_STATS = {"hits": 0, "misses": 0, "fallbacks": 0}
@@ -838,42 +847,54 @@ def compiled_expression(node, database, schema, has_outer,
         has_outer,
         _expr_digest(node),
     )
-    cached = _COMPILED_CACHE.get(key)
+    with _CACHE_LOCK:
+        cached = _COMPILED_CACHE.get(key)
+        if cached is not None:
+            _COMPILED_STATS["hits"] += 1
+        else:
+            _COMPILED_STATS["misses"] += 1
+            if len(_COMPILED_CACHE) >= _COMPILED_CACHE_CAP:
+                _COMPILED_CACHE.clear()
     if cached is not None:
-        _COMPILED_STATS["hits"] += 1
         if cached is _FALLBACK_SENTINEL:
             raise VectorFallback(key[-1])
         return cached
-    _COMPILED_STATS["misses"] += 1
-    if len(_COMPILED_CACHE) >= _COMPILED_CACHE_CAP:
-        _COMPILED_CACHE.clear()
     from time import perf_counter
 
-    from .stats import ENGINE_STATS
+    from .stats import add_time
 
     started = perf_counter()
     try:
         closure, cacheable = compile_vector(node, schema, has_outer)
     except VectorFallback:
-        _COMPILED_STATS["fallbacks"] += 1
-        _COMPILED_CACHE[key] = _FALLBACK_SENTINEL
+        with _CACHE_LOCK:
+            _COMPILED_STATS["fallbacks"] += 1
+            _COMPILED_CACHE[key] = _FALLBACK_SENTINEL
         raise
     finally:
-        ENGINE_STATS["compile_s"] += perf_counter() - started
+        add_time("compile_s", perf_counter() - started)
     if cacheable:
-        _COMPILED_CACHE[key] = closure
+        with _CACHE_LOCK:
+            _COMPILED_CACHE[key] = closure
     return closure
 
 
 def vector_cache_stats():
     """Hit/miss/fallback counters plus current entry count."""
-    stats = dict(_COMPILED_STATS)
-    stats["entries"] = len(_COMPILED_CACHE)
+    with _CACHE_LOCK:
+        stats = dict(_COMPILED_STATS)
+        stats["entries"] = len(_COMPILED_CACHE)
     return stats
 
 
 def reset_vector_cache():
-    """Clear the compiled cache and its counters (tests, benchmarks)."""
-    _COMPILED_CACHE.clear()
-    for key in _COMPILED_STATS:
-        _COMPILED_STATS[key] = 0
+    """Clear the compiled cache and its counters (tests, benchmarks).
+
+    Atomic with respect to a concurrent compile: a racing thread can land
+    one fresh entry after the clear, but never observes a half-reset
+    counter dict.
+    """
+    with _CACHE_LOCK:
+        _COMPILED_CACHE.clear()
+        for key in _COMPILED_STATS:
+            _COMPILED_STATS[key] = 0

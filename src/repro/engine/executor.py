@@ -46,7 +46,7 @@ from .evaluator import (
     contains_aggregate,
     find_window_functions,
 )
-from .stats import ENGINE_STATS
+from .stats import ENGINE_STATS, bump
 from .values import comparable_cell, sort_key
 from .window import evaluate_window, order_key_tuple
 
@@ -140,7 +140,7 @@ class Executor:
             optimized = optimize_for_execution(query, self.database)
             return self._execute_query(optimized, outer_env=None)
         except ExecutionError:
-            ENGINE_STATS["error_reruns"] += 1
+            bump("error_reruns")
             self._rows_only = True
             try:
                 return self._execute_query(query, outer_env=None)
@@ -245,7 +245,7 @@ class Executor:
             try:
                 return self._select_columnar(select, outer_env)
             except VectorFallback:  # pragma: no cover - staged internally
-                ENGINE_STATS["row_fallback_selects"] += 1
+                bump("row_fallback_selects")
         schema, row_envs = self._resolve_from(select.from_clause, outer_env)
         return self._select_rows(
             select, schema, row_envs, outer_env, apply_where=True
@@ -262,7 +262,7 @@ class Executor:
                     select.where, self.database, relation.schema, has_outer
                 )
             except VectorFallback:
-                ENGINE_STATS["row_fallback_selects"] += 1
+                bump("row_fallback_selects")
                 return self._select_rows(
                     select, relation.schema,
                     self._relation_envs(relation, outer_env),
@@ -280,7 +280,7 @@ class Executor:
                 if len(keep) != relation.count:
                     relation = relation.take(keep)
         if self._window_nodes(select):
-            ENGINE_STATS["row_fallback_selects"] += 1
+            bump("row_fallback_selects")
             return self._select_rows(
                 select, relation.schema,
                 self._relation_envs(relation, outer_env),
@@ -290,13 +290,13 @@ class Executor:
             try:
                 result = self._grouped_columnar(select, relation, outer_env)
             except VectorFallback:
-                ENGINE_STATS["row_fallback_selects"] += 1
+                bump("row_fallback_selects")
                 return self._select_rows(
                     select, relation.schema,
                     self._relation_envs(relation, outer_env),
                     outer_env, apply_where=False,
                 )
-            ENGINE_STATS["columnar_selects"] += 1
+            bump("columnar_selects")
             return result
         if select.having is not None:
             raise ExecutionError("HAVING without GROUP BY or aggregates")
@@ -306,13 +306,13 @@ class Executor:
                 bound_ids=frozenset(),
             )
         except VectorFallback:
-            ENGINE_STATS["row_fallback_selects"] += 1
+            bump("row_fallback_selects")
             return self._select_rows(
                 select, relation.schema,
                 self._relation_envs(relation, outer_env),
                 outer_env, apply_where=False,
             )
-        ENGINE_STATS["columnar_selects"] += 1
+        bump("columnar_selects")
         return result
 
     def _window_nodes(self, select):
@@ -400,7 +400,7 @@ class Executor:
             keys = []
         residual = conjuncts[len(keys):]
         if keys:
-            ENGINE_STATS["hash_joins"] += 1
+            bump("hash_joins")
             left_arrays = [left.array(*left_key) for left_key, _ in keys]
             right_arrays = [right.array(*right_key) for _, right_key in keys]
             index = {}
@@ -419,7 +419,7 @@ class Executor:
                         index.get(key, _EMPTY_MATCHES)
                     )
         else:
-            ENGINE_STATS["loop_joins"] += 1
+            bump("loop_joins")
             all_right = list(range(right.count))
             matches_per_left = [all_right] * left.count
         if residual:

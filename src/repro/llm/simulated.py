@@ -18,6 +18,8 @@ Capability contract (what the "model" can and cannot do):
 
 from __future__ import annotations
 
+import threading
+
 from ..pipeline.nlparse import canonicalize, parse_question
 from ..text.normalize import normalize
 from .grounding import Grounder, GroundingInput
@@ -28,15 +30,20 @@ from .interface import GPT_4O, GPT_4O_MINI, Prompt
 #: texts share one frozenset; bounded the same way the normalize cache is.
 _TOKEN_SET_CACHE = {}
 _TOKEN_SET_CACHE_CAP = 8192
+_TOKEN_SET_LOCK = threading.Lock()
 
 
 def _token_set(text):
+    # Reads stay lock-free (values are immutable frozensets); only the
+    # insert takes the lock so the cap-clear can't interleave with a store
+    # when the serving pool links schemas concurrently.
     cached = _TOKEN_SET_CACHE.get(text)
     if cached is None:
         cached = frozenset(normalize(text))
-        if len(_TOKEN_SET_CACHE) >= _TOKEN_SET_CACHE_CAP:
-            _TOKEN_SET_CACHE.clear()
-        _TOKEN_SET_CACHE[text] = cached
+        with _TOKEN_SET_LOCK:
+            if len(_TOKEN_SET_CACHE) >= _TOKEN_SET_CACHE_CAP:
+                _TOKEN_SET_CACHE.clear()
+            _TOKEN_SET_CACHE[text] = cached
     return cached
 
 
@@ -119,7 +126,10 @@ class SimulatedLLM:
         for position, element in enumerate(schema_elements):
             # The element-side scoring inputs (retrieval-text tokens, name
             # tokens, lowered values) never change; computed once per
-            # element and kept on the instance across questions.
+            # element and kept on the instance across questions. Concurrent
+            # linkers may each compute the tuple, but publication is a
+            # single attribute store of an immutable value (atomic swap),
+            # so every reader sees either nothing or the full signature.
             cached = element.__dict__.get("_link_signature")
             if cached is None:
                 cached = (

@@ -331,6 +331,14 @@ class RunLedger:
         record body minus any pre-existing ``run_id`` — identical content
         recorded twice gets the same digest, a fresh timestamp, and a
         ``-2``/``-3`` suffix on a same-second collision.
+
+        Directory creation is the atomicity point: ``os.mkdir`` either
+        claims the id or raises ``FileExistsError``, so two writers
+        landing in the same UTC second can never both "win" an id the way
+        a check-then-makedirs race could — the loser simply retries with
+        the next suffix. The claim time (``created_ns``) is persisted in
+        the meta header so :meth:`run_ids` can order same-second runs
+        deterministically without trusting filesystem mtimes.
         """
         body = {
             key: value for key, value in record.items() if key != "run_id"
@@ -338,12 +346,17 @@ class RunLedger:
         digest = stable_digest(body, size=5)
         stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
         base = f"{stamp}-{digest}"
+        os.makedirs(self.root, exist_ok=True)
         run_id = base
         suffix = 2
-        while os.path.exists(self.run_dir(run_id)):
-            run_id = f"{base}-{suffix}"
-            suffix += 1
-        os.makedirs(self.run_dir(run_id))
+        while True:
+            try:
+                os.mkdir(self.run_dir(run_id))
+                break
+            except FileExistsError:
+                run_id = f"{base}-{suffix}"
+                suffix += 1
+        created_ns = time.time_ns()
         record = dict(body)
         record["run_id"] = run_id
         self._write(run_id, _RECORD_FILE, record)
@@ -357,6 +370,7 @@ class RunLedger:
             "created_at": time.strftime(
                 "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
             ),
+            "created_ns": created_ns,
             "content_digest": digest,
         }
         header.update(meta or {})
@@ -385,9 +399,13 @@ class RunLedger:
         """Every recorded run id, oldest first.
 
         Ids lead with a second-resolution UTC stamp, so they mostly sort
-        chronologically on their own; the record file's mtime breaks ties
-        between distinct runs recorded within the same second (their
-        digest suffixes would otherwise decide the order arbitrarily).
+        chronologically on their own; the meta header's persisted
+        ``created_ns`` breaks ties between distinct runs recorded within
+        the same second. Unlike an mtime tiebreak, the persisted
+        nanosecond stamp survives copies and is immune to concurrent
+        writers touching files out of claim order — ``latest``/``latest~N``
+        resolve the same way on every read. Runs recorded before
+        ``created_ns`` existed fall back to the record file's mtime.
         """
         if not os.path.isdir(self.root):
             return []
@@ -396,8 +414,23 @@ class RunLedger:
             path = os.path.join(self.root, entry, _RECORD_FILE)
             if os.path.isfile(path):
                 stamp = entry.split("-", 1)[0]
-                entries.append((stamp, os.path.getmtime(path), entry))
-        return [entry for _stamp, _mtime, entry in sorted(entries)]
+                entries.append(
+                    (stamp, self._created_ns(entry, path), entry)
+                )
+        return [entry for _stamp, _order, entry in sorted(entries)]
+
+    def _created_ns(self, run_id, record_path):
+        """Same-second ordering key: persisted claim time, mtime fallback."""
+        meta_path = os.path.join(self.run_dir(run_id), _META_FILE)
+        if os.path.isfile(meta_path):
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    created_ns = json.load(handle).get("created_ns")
+                if created_ns is not None:
+                    return int(created_ns)
+            except (OSError, ValueError):
+                pass
+        return int(os.path.getmtime(record_path) * 1e9)
 
     def resolve(self, reference):
         """A full run id from an exact id, unique prefix, or ``latest``.

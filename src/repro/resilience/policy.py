@@ -202,12 +202,13 @@ DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
 class _SiteState:
-    __slots__ = ("failures", "open_remaining", "half_open")
+    __slots__ = ("failures", "open_remaining", "half_open", "trial_pending")
 
     def __init__(self):
         self.failures = 0
         self.open_remaining = 0
         self.half_open = False
+        self.trial_pending = False
 
 
 class CircuitBreaker:
@@ -217,6 +218,14 @@ class CircuitBreaker:
     ``cooldown`` calls are rejected without reaching the backend; the call
     after that is a half-open trial — success closes the circuit, failure
     re-opens it for another cooldown.
+
+    Every transition happens under one lock, and the half-open trial is a
+    single-winner token (``trial_pending``): with N threads racing
+    ``allow()`` after the cooldown, exactly one wins the trial and the
+    rest are rejected until the trial resolves. Without the token, every
+    concurrent caller would "be" the trial — a thundering herd onto a
+    backend the breaker exists to protect — and two failures recorded in
+    the same tick could double-open the circuit.
     """
 
     def __init__(self, threshold, cooldown):
@@ -242,6 +251,11 @@ class CircuitBreaker:
                 if state.open_remaining == 0:
                     state.half_open = True
                 return False
+            if state.half_open:
+                if state.trial_pending:
+                    return False
+                state.trial_pending = True
+                return True
             return True
 
     def record_success(self, site):
@@ -249,14 +263,20 @@ class CircuitBreaker:
             state = self._state(site)
             state.failures = 0
             state.half_open = False
+            state.trial_pending = False
 
     def record_failure(self, site):
         with self._lock:
             state = self._state(site)
             state.failures += 1
-            if state.half_open or state.failures >= self.threshold:
+            if (
+                state.trial_pending
+                or state.half_open
+                or state.failures >= self.threshold
+            ):
                 state.open_remaining = self.cooldown
                 state.half_open = False
+                state.trial_pending = False
                 state.failures = 0
 
     def is_open(self, site):

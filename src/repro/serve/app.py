@@ -1,0 +1,456 @@
+"""The serve application: routes, tenants, handlers, drain, ledger.
+
+:class:`ServeApp` is the framework-independent heart of the service —
+the HTTP layer only parses bytes and calls :meth:`ServeApp.dispatch`.
+Responsibilities:
+
+* **Per-tenant resolution** (§4.2): each served database is a tenant
+  owning its knowledge set and one long-lived
+  :class:`~repro.pipeline.pipeline.GenEditPipeline`. Pipelines are
+  shared across worker threads — the whole point of the PR 9
+  concurrency-safety audit (DESIGN.md §6h) is that this is now sound.
+* **Admission control**: pooled routes (``ask``/``feedback``) pass
+  through the :class:`~repro.serve.pool.WorkerPool` gate; saturation is
+  429 + ``Retry-After``, draining is 503 + ``Retry-After``, a blown
+  per-request deadline is 504. Introspection routes (``runs``,
+  ``healthz``) answer directly on the event loop.
+* **Deadline mapping**: the server's deadline becomes the tenant
+  pipelines' :class:`~repro.resilience.RetryPolicy` ``timeout_ms`` so
+  the resilience layer's per-call budget and the request budget agree;
+  a request's own ``deadline_ms`` may only shrink the server's.
+* **Serve-run ledger record**: benchmark traffic (requests carrying
+  ``question_id``/``gold_sql``) accumulates
+  :class:`~repro.bench.metrics.QuestionOutcome` entries scored exactly
+  like the batch harness; on drain they are recorded as one
+  ``kind="serve"`` ledger run, ordered by question id — which is what
+  makes a concurrency-8 sweep byte-identical to a concurrency-1 sweep
+  and lets ``repro diff`` gate the equivalence.
+* **Graceful drain**: stop admitting, let in-flight work finish, record
+  the ledger run, flush and close the telemetry sink, optionally export
+  the server's span tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+
+from ..bench.metrics import EvaluationReport, QuestionOutcome, \
+    execution_match
+from ..obs.metrics import get_metrics, global_snapshot
+from ..resilience import DEFAULT_RETRY_POLICY
+from .middleware import ServeObservability, request_id_from_headers
+from .pool import DeadlineExceeded, PoolDraining, PoolSaturated, WorkerPool
+from .router import HTTPError, Router
+from .schemas import (
+    AskRequest,
+    FeedbackRequest,
+    ValidationError,
+    ask_response,
+    error_response,
+    feedback_response,
+)
+
+#: Default end-to-end request deadline. Matches the resilience layer's
+#: default per-call ``timeout_ms`` so a plain server preserves the batch
+#: path's retry behaviour exactly (serial/concurrent equivalence).
+DEFAULT_DEADLINE_MS = DEFAULT_RETRY_POLICY.timeout_ms
+
+
+class TenantState:
+    """One served database: its profile, knowledge set, and pipeline."""
+
+    def __init__(self, name, profile, knowledge, retry_policy):
+        self.name = name
+        self.profile = profile
+        self.knowledge = knowledge
+        from ..pipeline.pipeline import GenEditPipeline
+
+        self.pipeline = GenEditPipeline(
+            profile.database, knowledge, retry_policy=retry_policy
+        )
+
+
+class ServeApp:
+    """The GenEdit service behind :mod:`repro.serve.http`."""
+
+    def __init__(self, databases=None, seed=7, workers=4, queue_depth=8,
+                 deadline_ms=DEFAULT_DEADLINE_MS, ledger_dir=None,
+                 record_runs=False, telemetry_out=None, trace_out=None,
+                 registry=None, profiles=None, workload=None,
+                 knowledge_sets=None):
+        self.seed = seed
+        self.databases = list(databases) if databases else None
+        self.deadline_ms = float(deadline_ms)
+        self.ledger_dir = ledger_dir
+        self.record_runs = record_runs or ledger_dir is not None
+        self.telemetry_out = telemetry_out
+        self.trace_out = trace_out
+        self.pool = WorkerPool(workers=workers, queue_depth=queue_depth)
+        self.obs = ServeObservability(registry=registry)
+        self.registry = self.obs.registry
+        self._injected = (profiles, workload, knowledge_sets)
+        self._tenants = {}
+        self._outcomes = []
+        self._outcome_lock = threading.Lock()
+        self._telemetry = None
+        self._started = False
+        self._shutdown_done = False
+        self._started_at = None
+        self.last_run_id = ""
+        self.router = self._build_router()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def startup(self):
+        """Build tenants (profiles, knowledge sets, pipelines) eagerly.
+
+        Called once by the HTTP layer before accepting traffic, so the
+        first request never pays the multi-second knowledge-mining warmup
+        and tenant construction needs no locking afterwards.
+        """
+        if self._started:
+            return self
+        profiles, workload, knowledge_sets = self._injected
+        if profiles is None or knowledge_sets is None:
+            from ..bench.bird import build_knowledge_sets, build_workload
+            from ..bench.schemas import build_all
+
+            profiles = profiles or build_all(self.seed)
+            workload = workload or build_workload(self.seed)
+            knowledge_sets = knowledge_sets or build_knowledge_sets(
+                workload, self.seed
+            )
+        names = self.databases or sorted(knowledge_sets)
+        unknown = [name for name in names if name not in knowledge_sets]
+        if unknown:
+            raise ValueError(
+                f"unknown database(s): {', '.join(unknown)}; "
+                f"choose from: {', '.join(sorted(knowledge_sets))}"
+            )
+        self.databases = names
+        retry_policy = dataclasses.replace(
+            DEFAULT_RETRY_POLICY, timeout_ms=self.deadline_ms
+        )
+        for name in names:
+            self._tenants[name] = TenantState(
+                name, profiles[name], knowledge_sets[name], retry_policy
+            )
+        if self.telemetry_out:
+            from ..obs.telemetry import TelemetrySink
+
+            self._telemetry = TelemetrySink(
+                self.telemetry_out, snapshot_fn=self._snapshot,
+                registry=self.registry,
+            )
+        self._started = True
+        self._started_at = time.time()
+        return self
+
+    def _snapshot(self):
+        if self.registry is get_metrics():
+            return global_snapshot()
+        return self.registry.snapshot()
+
+    def shutdown(self, timeout=60.0):
+        """Graceful drain: finish in-flight work, persist, flush, close."""
+        if self._shutdown_done:
+            return True
+        self._shutdown_done = True
+        drained = self.pool.drain(timeout=timeout)
+        if self.record_runs:
+            self._record_serve_run()
+        if self._telemetry is not None:
+            self._telemetry.close()
+        if self.trace_out:
+            from ..obs import write_trace
+
+            write_trace(
+                self.trace_out, self.obs.tracer.to_records(),
+                metrics=self._snapshot(),
+                meta={"kind": "serve", "databases": self.databases},
+            )
+        return drained
+
+    @property
+    def draining(self):
+        return self.pool.draining
+
+    def telemetry_stats(self):
+        return None if self._telemetry is None else self._telemetry.stats()
+
+    # -- routing / dispatch ---------------------------------------------
+
+    def _build_router(self):
+        router = Router()
+        router.add("POST", "/ask", self._handle_ask, name="ask",
+                   schema=AskRequest, pooled=True)
+        router.add("POST", "/feedback", self._handle_feedback,
+                   name="feedback", schema=FeedbackRequest, pooled=True)
+        router.add("GET", "/runs", self._handle_runs, name="runs")
+        router.add("GET", "/runs/{run_id}", self._handle_run_detail,
+                   name="runs")
+        router.add("GET", "/healthz", self._handle_healthz, name="healthz")
+        return router
+
+    async def dispatch(self, method, path, headers, body):
+        """One request in, ``(status, headers, payload_dict)`` out."""
+        request_id = request_id_from_headers(headers)
+        try:
+            route, params = self.router.match(method, path)
+            route_name = route.name
+        except HTTPError as error:
+            route, params, route_name = None, {}, "unmatched"
+            matched_error = error
+        response_headers = {"X-Request-Id": request_id}
+        with self.obs.request(method, path, route_name, request_id) \
+                as holder:
+            if route is None:
+                status, payload = matched_error.status, error_response(
+                    matched_error.status, matched_error.message,
+                    matched_error.detail,
+                )
+                response_headers.update(matched_error.headers)
+            else:
+                try:
+                    status, payload, extra = await self._invoke(
+                        route, params, body, request_id
+                    )
+                    response_headers.update(extra)
+                except ValidationError as error:
+                    status, payload = 400, error.payload()
+                except HTTPError as error:
+                    status = error.status
+                    payload = error_response(
+                        error.status, error.message, error.detail
+                    )
+                    response_headers.update(error.headers)
+            holder["status"] = status
+        return status, response_headers, payload
+
+    async def _invoke(self, route, params, body, request_id):
+        request = None
+        if route.schema is not None:
+            request = route.schema.from_payload(self._json_body(body))
+        if not route.pooled:
+            return route.handler(request=request, params=params,
+                                 request_id=request_id)
+        deadline_s = self.deadline_ms / 1000.0
+        if request is not None and getattr(request, "deadline_ms", 0.0):
+            deadline_s = min(deadline_s, request.deadline_ms / 1000.0)
+        try:
+            self.pool.acquire()
+        except PoolDraining:
+            self.obs.rejection("draining")
+            raise HTTPError(
+                503, "draining", headers={"Retry-After": "5"}
+            ) from None
+        except PoolSaturated as error:
+            self.obs.rejection("saturated")
+            raise HTTPError(
+                429, "saturated",
+                headers={
+                    "Retry-After": f"{max(error.retry_after_s, 1):.0f}"
+                },
+            ) from None
+        try:
+            return await self.pool.run(
+                route.handler, request, params, request_id,
+                deadline_s=deadline_s,
+            )
+        except DeadlineExceeded:
+            self.obs.rejection("deadline")
+            raise HTTPError(
+                504, "deadline exceeded",
+                detail={"deadline_ms": deadline_s * 1000.0},
+            ) from None
+
+    @staticmethod
+    def _json_body(body):
+        if not body:
+            raise ValidationError([{
+                "loc": ["body"], "msg": "request body required",
+            }])
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValidationError([{
+                "loc": ["body"], "msg": f"invalid JSON: {error}",
+            }]) from None
+
+    def _tenant(self, name):
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise HTTPError(
+                404, "unknown tenant",
+                detail={"tenant": name,
+                        "served": sorted(self._tenants)},
+            )
+        return tenant
+
+    # -- pooled handlers (worker threads) --------------------------------
+
+    def _handle_ask(self, request, params, request_id):
+        tenant = self._tenant(request.tenant)
+        result = tenant.pipeline.generate(request.question)
+        correct = None
+        if request.gold_sql:
+            correct = bool(result.success) and execution_match(
+                tenant.profile.database, result.sql, request.gold_sql
+            )
+        self._record_outcome(tenant, request, result, correct)
+        if self._telemetry is not None:
+            self._telemetry.publish()
+        return 200, ask_response(request, request_id, result, correct), {}
+
+    def _handle_feedback(self, request, params, request_id):
+        from ..feedback.solver import FeedbackSolver
+
+        tenant = self._tenant(request.tenant)
+        # A throwaway per-request solver: ask + recommend only, nothing
+        # staged or applied, so concurrent feedback requests never share
+        # mutable session state (offline tools own staging/approval).
+        solver = FeedbackSolver(tenant.pipeline,
+                                tracer=self.obs.tracer)
+        result = solver.ask(request.question)
+        recommendations = solver.give_feedback(request.feedback)
+        if self._telemetry is not None:
+            self._telemetry.publish()
+        return 200, feedback_response(
+            request, request_id, result, recommendations
+        ), {}
+
+    # -- introspection handlers (event loop) -----------------------------
+
+    def _ledger(self):
+        from ..obs.ledger import RunLedger
+
+        return RunLedger(self.ledger_dir)
+
+    def _handle_runs(self, request, params, request_id):
+        return 200, {"runs": self._ledger().list_runs()}, {}
+
+    def _handle_run_detail(self, request, params, request_id):
+        try:
+            record = self._ledger().read_record(params["run_id"])
+        except KeyError as error:
+            raise HTTPError(
+                404, "unknown run", detail={"run": params["run_id"]}
+            ) from error
+        return 200, record, {}
+
+    def _handle_healthz(self, request, params, request_id):
+        stats = self.pool.stats()
+        status = "draining" if stats["draining"] else "ok"
+        return (200 if status == "ok" else 503), {
+            "status": status,
+            "tenants": sorted(self._tenants),
+            "inflight": stats["inflight"],
+            "capacity": stats["max_inflight"],
+            "admitted": stats["admitted"],
+            "rejected": stats["rejected"],
+            "outcomes": len(self._outcomes),
+        }, {}
+
+    # -- the serve-run ledger record -------------------------------------
+
+    def _record_outcome(self, tenant, request, result, correct):
+        """Accumulate a harness-identical outcome for benchmark traffic.
+
+        Only requests that identify themselves as benchmark questions
+        (``question_id`` set) are recorded — live analyst traffic leaves
+        no ledger entries.
+        """
+        if not request.question_id:
+            return
+        context = result.context
+        if correct:
+            error = ""
+        elif not result.success:
+            error = result.error or "generation failed"
+        elif not result.sql:
+            error = "no SQL generated"
+        elif request.gold_sql:
+            error = "result mismatch"
+        else:
+            error = "no gold SQL supplied"
+        final_diagnostics = context.candidate_diagnostics.get(
+            result.sql, ()
+        )
+        outcome = QuestionOutcome(
+            question_id=request.question_id,
+            difficulty=request.difficulty,
+            database=tenant.name,
+            correct=bool(correct),
+            predicted_sql=result.sql,
+            gold_sql=request.gold_sql,
+            issues=tuple(result.plan.issues) if result.plan else (),
+            cost_usd=result.cost_usd,
+            latency_ms=result.latency_ms,
+            lint_caught=context.lint_caught,
+            execution_caught=context.execution_caught,
+            error=error,
+            degraded=result.degraded_operators,
+            question_text=request.question,
+            lint_codes=tuple(sorted({
+                diagnostic.code for diagnostic in final_diagnostics
+                if diagnostic.is_error
+            })),
+            plan_codes=tuple(sorted({
+                finding.code for finding in (
+                    context.candidate_plan_findings.get(result.sql)
+                    or context.plan_findings
+                )
+                if finding.is_error
+            })),
+            attempts=len(context.attempts),
+            operator_digests=result.operator_digests,
+            llm_calls=tuple(
+                (call.operator, call.model, call.input_tokens,
+                 call.output_tokens, round(call.cost_usd, 10))
+                for call in context.meter.calls
+            ),
+        )
+        with self._outcome_lock:
+            self._outcomes.append(outcome)
+
+    def _record_serve_run(self):
+        """Persist accumulated outcomes as one deterministic ledger run.
+
+        Outcomes sort by ``(database, question_id)``; the pipeline is
+        deterministic per question, so any two sweeps over the same
+        questions — whatever the concurrency or arrival order — produce
+        byte-identical record bodies. Skipped when no benchmark traffic
+        arrived.
+        """
+        from ..obs.ledger import build_run_record, build_timing
+
+        with self._outcome_lock:
+            outcomes = list(self._outcomes)
+        if not outcomes:
+            return ""
+        outcomes.sort(key=lambda o: (o.database, o.question_id))
+        report = EvaluationReport(system="serve")
+        for outcome in outcomes:
+            report.add(outcome)
+        first = self._tenants[self.databases[0]]
+        record = build_run_record(
+            [report],
+            kind="serve",
+            target=",".join(self.databases),
+            seed=self.seed,
+            config=first.pipeline.config,
+            knowledge_sets={
+                name: tenant.knowledge
+                for name, tenant in sorted(self._tenants.items())
+            },
+        )
+        self.last_run_id = self._ledger().record_run(
+            record,
+            timing=build_timing(self.obs.tracer.to_records()),
+            meta={"databases": self.databases,
+                  "pool": self.pool.stats()},
+        )
+        return self.last_run_id

@@ -1,0 +1,103 @@
+"""Per-request observability: request ids, span roots, metrics, logging.
+
+The serving layer's middleware stack in the FastAPI sense, collapsed to
+one context manager. Every dispatched request gets:
+
+* a **request id** — honoured from the caller's ``X-Request-Id`` header
+  (propagation across services) or minted here; echoed on the response
+  and stamped on the span root, so one id follows a request from client
+  log to server trace to telemetry;
+* a **span root** on the server's tracer (``serve.request`` with route /
+  method / request-id attributes). Pipeline spans opened on worker
+  threads keep their own per-thread trees — the request id attribute is
+  the join key, since ambient span stacks are thread-local by design;
+* ``serve.*`` **metrics** on the process registry: request counts by
+  route and status, a latency histogram per route, rejection counts by
+  reason, and an in-flight gauge — all flowing into any attached
+  ``TelemetrySink`` exactly like pipeline metrics do;
+* an **access log** line (stderr via ``logging``), one per request.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import os
+import time
+from contextlib import contextmanager
+
+from ..obs.metrics import get_metrics
+from ..obs.tracing import Tracer
+
+logger = logging.getLogger("repro.serve")
+
+_REQUEST_IDS = itertools.count(1)
+
+#: Request/latency buckets tuned for end-to-end request times (ms).
+REQUEST_BUCKETS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+def new_request_id():
+    """A process-unique request id (``req-<pid>-<seq>``)."""
+    return f"req-{os.getpid():x}-{next(_REQUEST_IDS):06d}"
+
+
+def request_id_from_headers(headers):
+    """The caller's ``X-Request-Id`` if sane, else a fresh id."""
+    supplied = (headers or {}).get("x-request-id", "").strip()
+    if supplied and len(supplied) <= 128 and supplied.isprintable():
+        return supplied
+    return new_request_id()
+
+
+class ServeObservability:
+    """The metrics/tracing/logging side of request dispatch."""
+
+    def __init__(self, registry=None, tracer=None):
+        self.registry = registry or get_metrics()
+        self.tracer = tracer or Tracer()
+        self._inflight = 0
+
+    def rejection(self, reason):
+        """Count an admission rejection (saturated / draining / deadline)."""
+        self.registry.inc("serve.rejections", reason=reason)
+
+    @contextmanager
+    def request(self, method, path, route_name, request_id):
+        """Wrap one request dispatch; yields a mutable status holder.
+
+        The handler (or error path) sets ``holder["status"]`` before the
+        block exits; metrics and the access log read it on the way out.
+        """
+        holder = {"status": 0}
+        self._inflight += 1
+        self.registry.set_gauge("serve.inflight", self._inflight)
+        started = time.perf_counter()
+        try:
+            with self.tracer.span(
+                "serve.request",
+                route=route_name,
+                method=method,
+                request_id=request_id,
+            ) as span:
+                yield holder
+                span.set_attr("status", holder["status"])
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self._inflight -= 1
+            self.registry.set_gauge("serve.inflight", self._inflight)
+            status = holder["status"] or 500
+            self.registry.inc(
+                "serve.requests", route=route_name, status=status
+            )
+            self.registry.observe(
+                "serve.request_ms", elapsed_ms,
+                buckets=REQUEST_BUCKETS_MS, route=route_name,
+            )
+            logger.info(
+                '%s %s %s %d %.1fms', request_id, method, path, status,
+                elapsed_ms,
+            )

@@ -1,0 +1,237 @@
+"""Typed request/response schemas for the serving layer.
+
+Stdlib mirror of the FastAPI/pydantic pattern: each request body is a
+frozen dataclass built through :meth:`Schema.from_payload`, which checks
+types, required fields, bounds, and unknown keys in one pass and raises
+one :class:`ValidationError` carrying *every* field problem — the error
+body (``{"error": "validation", "detail": [{"loc": ..., "msg": ...},
+...]}``) keeps FastAPI's 422 shape so clients written against the real
+thing port over unchanged (the serving layer returns it with status 400).
+
+Responses are plain dicts built by the ``*_response`` helpers, rendered
+with sorted keys by the HTTP layer so identical results are byte-identical
+on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+
+
+class ValidationError(Exception):
+    """A request body failed schema validation (HTTP 400).
+
+    ``errors`` is a list of ``{"loc": [...], "msg": str}`` dicts, one per
+    problem, in field order.
+    """
+
+    def __init__(self, errors):
+        self.errors = list(errors)
+        super().__init__(
+            "; ".join(
+                f"{'.'.join(str(part) for part in error['loc'])}: "
+                f"{error['msg']}"
+                for error in self.errors
+            )
+        )
+
+    def payload(self):
+        return {"error": "validation", "detail": self.errors}
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Validation rule for one schema field."""
+
+    name: str
+    types: tuple
+    required: bool = False
+    non_empty: bool = False
+    minimum: float = None
+    maximum: float = None
+
+
+def _type_name(types):
+    names = sorted({
+        {"str": "string", "int": "number", "float": "number",
+         "bool": "boolean"}.get(t.__name__, t.__name__)
+        for t in types
+    })
+    return " or ".join(names)
+
+
+class Schema:
+    """Base for request schemas: ``from_payload`` validates and builds.
+
+    Subclasses are dataclasses whose ``SPECS`` tuple declares the rules;
+    dataclass defaults supply the value for optional fields left out of
+    the payload.
+    """
+
+    SPECS = ()
+
+    @classmethod
+    def from_payload(cls, payload):
+        errors = []
+        if not isinstance(payload, dict):
+            raise ValidationError([{
+                "loc": ["body"],
+                "msg": "request body must be a JSON object",
+            }])
+        known = {spec.name for spec in cls.SPECS}
+        for key in sorted(set(payload) - known):
+            errors.append({
+                "loc": ["body", key], "msg": "unknown field",
+            })
+        values = {}
+        for spec in cls.SPECS:
+            if spec.name not in payload:
+                if spec.required:
+                    errors.append({
+                        "loc": ["body", spec.name],
+                        "msg": "field required",
+                    })
+                continue
+            value = payload[spec.name]
+            # bool is an int subclass; never accept it for numeric fields.
+            if not isinstance(value, spec.types) or (
+                isinstance(value, bool) and bool not in spec.types
+            ):
+                errors.append({
+                    "loc": ["body", spec.name],
+                    "msg": f"expected {_type_name(spec.types)}",
+                })
+                continue
+            if isinstance(value, str) and spec.non_empty \
+                    and not value.strip():
+                errors.append({
+                    "loc": ["body", spec.name],
+                    "msg": "must not be empty",
+                })
+                continue
+            if spec.minimum is not None and value < spec.minimum:
+                errors.append({
+                    "loc": ["body", spec.name],
+                    "msg": f"must be >= {spec.minimum:g}",
+                })
+                continue
+            if spec.maximum is not None and value > spec.maximum:
+                errors.append({
+                    "loc": ["body", spec.name],
+                    "msg": f"must be <= {spec.maximum:g}",
+                })
+                continue
+            values[spec.name] = value
+        if errors:
+            raise ValidationError(errors)
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class AskRequest(Schema):
+    """Body of ``POST /ask``: generate SQL for one question.
+
+    ``tenant`` names the knowledge set / database the question targets
+    (per-tenant resolution, §4.2). ``question_id`` and ``gold_sql`` exist
+    for benchmark traffic: an id keys the question's entry in the serve
+    run's ledger record, and gold SQL (when the caller knows it) lets the
+    server score EX exactly like the batch harness — live analyst traffic
+    sends neither. ``deadline_ms`` caps this request's end-to-end budget
+    (bounded by the server's own deadline).
+    """
+
+    question: str = ""
+    tenant: str = ""
+    question_id: str = ""
+    gold_sql: str = ""
+    difficulty: str = ""
+    deadline_ms: float = 0.0
+
+    SPECS = (
+        FieldSpec("question", (str,), required=True, non_empty=True),
+        FieldSpec("tenant", (str,), required=True, non_empty=True),
+        FieldSpec("question_id", (str,)),
+        FieldSpec("gold_sql", (str,)),
+        FieldSpec("difficulty", (str,)),
+        FieldSpec("deadline_ms", (int, float), minimum=1.0,
+                  maximum=600_000.0),
+    )
+
+
+@dataclass(frozen=True)
+class FeedbackRequest(Schema):
+    """Body of ``POST /feedback``: run the recommendation operators.
+
+    The server replays the question through the tenant's pipeline, then
+    runs the feedback-solver recommendation chain (targets → expansion →
+    planning → edit generation) on ``feedback`` — a stateless slice of
+    the Fig. 3 session; staging/approval stay with the offline tools.
+    """
+
+    question: str = ""
+    feedback: str = ""
+    tenant: str = ""
+
+    SPECS = (
+        FieldSpec("question", (str,), required=True, non_empty=True),
+        FieldSpec("feedback", (str,), required=True, non_empty=True),
+        FieldSpec("tenant", (str,), required=True, non_empty=True),
+    )
+
+
+def schema_field_names(schema_cls):
+    """The declared field names of a schema dataclass (docs, tests)."""
+    return tuple(field.name for field in dataclass_fields(schema_cls))
+
+
+# -- response payloads -------------------------------------------------------
+
+
+def ask_response(request, request_id, result, correct=None):
+    """JSON payload for a completed ``/ask``.
+
+    ``correct`` is the EX verdict when the request carried gold SQL, else
+    None (live traffic has no gold to score against).
+    """
+    context = result.context
+    return {
+        "request_id": request_id,
+        "tenant": request.tenant,
+        "question_id": request.question_id,
+        "question": request.question,
+        "sql": result.sql,
+        "success": bool(result.success),
+        "error": "" if result.success else (result.error or ""),
+        "correct": correct,
+        "cost_usd": round(result.cost_usd, 10),
+        "latency_ms": round(result.latency_ms, 4),
+        "attempts": len(context.attempts),
+        "degraded": list(result.degraded_operators),
+    }
+
+
+def feedback_response(request, request_id, result, recommendations):
+    """JSON payload for a completed ``/feedback``."""
+    return {
+        "request_id": request_id,
+        "tenant": request.tenant,
+        "question": request.question,
+        "sql": result.sql,
+        "recommendations": [
+            {
+                "edit_id": edit.edit_id,
+                "action": edit.action,
+                "kind": edit.kind,
+                "description": edit.describe(),
+            }
+            for edit in recommendations
+        ],
+    }
+
+
+def error_response(status, message, detail=None):
+    """Uniform JSON error body for non-validation failures."""
+    payload = {"error": message, "status": status}
+    if detail is not None:
+        payload["detail"] = detail
+    return payload

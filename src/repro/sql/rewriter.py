@@ -195,12 +195,12 @@ def optimize_for_execution(query, database):
         return cached[2]
     from time import perf_counter
 
-    from ..engine.stats import ENGINE_STATS
+    from ..engine.stats import add_time
 
     started = perf_counter()
     cte_names = _collect_cte_names(query)
     optimized = _Optimizer(database, cte_names).rewrite_query(query)
-    ENGINE_STATS["rewrite_s"] += perf_counter() - started
+    add_time("rewrite_s", perf_counter() - started)
     try:
         query._optimized_plan = (database.name, database.version, optimized)
     except AttributeError:  # pragma: no cover - nodes are plain objects

@@ -26,6 +26,7 @@ side instead) are scored individually the legacy way.
 from __future__ import annotations
 
 import logging
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -42,6 +43,13 @@ FALLBACK_SCAN_CAP = 512
 
 #: Memoized query transforms kept per index between mutations.
 QUERY_CACHE_SIZE = 256
+
+#: Serialises lazy refreshes. Module-level (not per-instance) so indexes
+#: cloned via ``KnowledgeSet.clone()``/snapshot-restore need no lock
+#: plumbing; refreshes are rare (warmup and post-edit), so one process-wide
+#: lock costs nothing while guaranteeing two concurrent first searches
+#: can't both rebuild and interleave partially-built postings tables.
+_REFRESH_LOCK = threading.Lock()
 
 
 @dataclass
@@ -234,30 +242,44 @@ class RetrievalIndex:
     def _refresh(self):
         if not self._dirty:
             return
+        with _REFRESH_LOCK:
+            # Double-check: a concurrent searcher may have finished the
+            # rebuild while this thread waited on the lock.
+            if not self._dirty:
+                return
+            self._do_refresh()
+
+    def _do_refresh(self):
         # One normalisation pass per document, cached on the document so a
         # refresh triggered by adding a handful of documents only pays to
         # tokenize those; the token list is shared by the vectorizer fit,
-        # the document embedding, and the inverted index.
-        self._vectorizer = TfIdfVectorizer()
+        # the document embedding, and the inverted index. Built into
+        # locals and published by attribute assignment, so readers that
+        # raced past the dirty check see either the old complete tables or
+        # the new ones — never a half-built postings list.
+        vectorizer = TfIdfVectorizer()
         for document in self._documents.values():
             if document.tokens is None:
                 document.tokens = normalize(document.text)
-                document.terms = self._vectorizer.terms_for(
+                document.terms = vectorizer.terms_for(
                     document.text, tokens=document.tokens
                 )
                 document.term_counts = Counter(document.terms)
-            self._vectorizer.fit_one(document.text, terms=document.terms)
-        self._inverted = {}
-        self._postings = {}
+            vectorizer.fit_one(document.text, terms=document.terms)
+        inverted = {}
+        postings = {}
         for doc_id, document in self._documents.items():
-            document.vector = self._vectorizer.transform(
+            document.vector = vectorizer.transform(
                 document.text, counts=document.term_counts
             )
             document.norm = l2_norm(document.vector)
             for term in set(document.tokens):
-                self._inverted.setdefault(term, set()).add(doc_id)
+                inverted.setdefault(term, set()).add(doc_id)
             for term, weight in document.vector.items():
-                self._postings.setdefault(term, []).append((doc_id, weight))
+                postings.setdefault(term, []).append((doc_id, weight))
+        self._vectorizer = vectorizer
+        self._inverted = inverted
+        self._postings = postings
         self._query_cache = {}
         self._dirty = False
         self._fallback_warned = False

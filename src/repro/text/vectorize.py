@@ -12,6 +12,7 @@ is applied to both sides.
 from __future__ import annotations
 
 import math
+import threading
 from collections import Counter
 
 from .normalize import char_ngrams, ngrams, normalize
@@ -20,9 +21,12 @@ from .normalize import char_ngrams, ngrams, normalize
 #: extraction is pure and the same text crosses several vectorizers (one
 #: question embeds against the example, instruction, and schema indexes; a
 #: mined document is fit and then transformed), so share the expansion.
-#: Values are tuples — treat them as immutable.
+#: Values are tuples — treat them as immutable. Lock-free reads are safe
+#: (dict.get is atomic and values never mutate); the insert path takes
+#: _TERMS_LOCK so a cap-triggered clear can't interleave with a store.
 _TERMS_CACHE = {}
 _TERMS_CACHE_CAP = 8192
+_TERMS_LOCK = threading.Lock()
 
 
 class TfIdfVectorizer:
@@ -140,7 +144,8 @@ class TfIdfVectorizer:
             terms.extend(ngrams(tokens, 2))
         if self.use_char_ngrams:
             terms.extend(char_ngrams(text, 3))
-        if len(_TERMS_CACHE) >= _TERMS_CACHE_CAP:
-            _TERMS_CACHE.clear()
-        _TERMS_CACHE[key] = tuple(terms)
+        with _TERMS_LOCK:
+            if len(_TERMS_CACHE) >= _TERMS_CACHE_CAP:
+                _TERMS_CACHE.clear()
+            _TERMS_CACHE[key] = tuple(terms)
         return terms
