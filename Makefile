@@ -24,15 +24,20 @@
 #                   (all non-probe traffic 2xx, probe must see a 429),
 #                   check the telemetry flush, then sweep the workload at
 #                   concurrency 1 and 8: repro diff must find zero flips
+#   make debug-smoke - boot the service in-process, round-trip a caller
+#                   traceparent through /debug/traces/{id}, scrape
+#                   /metrics through the promtext linter, force one
+#                   failing request and reconstruct it from /debug/errors
 #   make bench    - regenerate the paper tables
 
 PYTHON ?= python
 
 .PHONY: lint compile test lint-corpus knowledge-lint trace-smoke \
-	chaos-smoke ledger-smoke telemetry-smoke perf-smoke serve-smoke bench
+	chaos-smoke ledger-smoke telemetry-smoke perf-smoke serve-smoke \
+	debug-smoke bench
 
 lint: compile test lint-corpus knowledge-lint trace-smoke chaos-smoke \
-	ledger-smoke telemetry-smoke perf-smoke serve-smoke
+	ledger-smoke telemetry-smoke perf-smoke serve-smoke debug-smoke
 
 compile:
 	$(PYTHON) -m compileall -q src
@@ -116,6 +121,13 @@ serve-smoke:
 		--ledger-dir /tmp/repro-serve-smoke/runs \
 		> /tmp/repro-serve-smoke/diff.txt
 	grep -q "total: 0 flip(s)" /tmp/repro-serve-smoke/diff.txt
+
+debug-smoke:
+	rm -rf /tmp/repro-debug-smoke
+	mkdir -p /tmp/repro-debug-smoke
+	$(PYTHON) scripts/debug_smoke.py /tmp/repro-debug-smoke/metrics.prom
+	PYTHONPATH=src $(PYTHON) scripts/check_promtext.py \
+		/tmp/repro-debug-smoke/metrics.prom
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench all

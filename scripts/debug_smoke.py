@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""CI smoke for the live introspection plane (``make debug-smoke``).
+
+Boots the HTTP service in-process on an ephemeral port, then proves the
+debug surface end to end:
+
+1. a healthy ``/ask`` carrying a caller-supplied ``traceparent`` — the
+   response must echo the same trace id, and ``/debug/traces/{id}`` must
+   return a span tree containing both the ``serve.request`` root and the
+   pipeline's ``generate`` span (trace propagation across the worker
+   pool);
+2. ``GET /metrics`` is scraped and written to ``argv[1]`` for the
+   promtext linter (the Makefile pipes it through
+   ``scripts/check_promtext.py``);
+3. a required operator is made to raise, a second ``/ask`` fails, and
+   the failure must be fully reconstructable from ``GET /debug/errors``
+   without re-running: retention class ``failed``, the operator digest
+   trail, and the forced error text;
+4. ``/debug/requests`` must list both requests with their trace ids.
+
+Exit code 0 only if every assertion holds.
+"""
+
+import http.client
+import json
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.serve import ServeApp, ServerThread  # noqa: E402
+
+TRACEPARENT = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+TRACE_ID = "ab" * 16
+
+
+def request(port, method, path, payload=None, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    body = None
+    sent = dict(headers or {})
+    if payload is not None:
+        body = json.dumps(payload)
+        sent["Content-Type"] = "application/json"
+    conn.request(method, path, body=body, headers=sent)
+    response = conn.getresponse()
+    raw = response.read()
+    conn.close()
+    content_type = response.getheader("Content-Type", "")
+    parsed = json.loads(raw) if "json" in content_type else raw.decode()
+    return response.status, dict(response.getheaders()), parsed
+
+
+def fail(message):
+    print(f"debug-smoke: FAIL {message}")
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: debug_smoke.py METRICS_OUT_PATH")
+        return 2
+    metrics_out = argv[1]
+    app = ServeApp(databases=["sports_holdings"], workers=2,
+                   queue_depth=4, sample_every=1)
+    server = ServerThread(app).start()
+    try:
+        # 1. healthy ask with caller trace context.
+        status, headers, body = request(
+            server.port, "POST", "/ask",
+            {"question": "How many teams are there?",
+             "tenant": "sports_holdings"},
+            headers={"traceparent": TRACEPARENT,
+                     "X-Request-Id": "smoke-ok-1"},
+        )
+        if status != 200:
+            return fail(f"healthy ask answered {status}")
+        echoed = headers.get("traceparent", "")
+        if TRACE_ID not in echoed:
+            return fail(f"traceparent not echoed: {echoed!r}")
+        if headers.get("X-Request-Id") != "smoke-ok-1":
+            return fail("request id not echoed")
+
+        status, _, trace = request(
+            server.port, "GET", f"/debug/traces/{TRACE_ID}"
+        )
+        if status != 200:
+            return fail(f"/debug/traces/{TRACE_ID} answered {status}")
+        names = {span["name"] for span in trace["spans"]}
+        if "serve.request" not in names or "generate" not in names:
+            return fail(f"trace missing spans: {sorted(names)}")
+        if "serve.request" not in trace["tree"]:
+            return fail("span tree not rendered")
+
+        # 2. scrape /metrics for the promtext linter.
+        status, headers, text = request(server.port, "GET", "/metrics")
+        if status != 200 or not isinstance(text, str):
+            return fail(f"/metrics answered {status}")
+        if "serve_requests" not in text:
+            return fail("/metrics missing serve_requests")
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+        # 3. force a required-operator failure and reconstruct it from
+        # the flight recorder.
+        pipeline = app._tenants["sports_holdings"].pipeline
+        for operator in pipeline.operators:
+            if operator.name == "generate_sql":
+                def boom(context):
+                    raise RuntimeError("forced failure (debug smoke)")
+
+                operator.run = boom
+                break
+        else:
+            return fail("generate_sql operator not found")
+        status, headers, body = request(
+            server.port, "POST", "/ask",
+            {"question": "How many teams are there?",
+             "tenant": "sports_holdings"},
+            headers={"X-Request-Id": "smoke-fail-1"},
+        )
+        if status != 200 or body.get("success"):
+            return fail(
+                f"forced failure not surfaced: {status} {body!r}"
+            )
+
+        status, _, errors = request(server.port, "GET", "/debug/errors")
+        if status != 200:
+            return fail(f"/debug/errors answered {status}")
+        entry = next(
+            (e for e in errors["errors"]
+             if e.get("request_id") == "smoke-fail-1"), None,
+        )
+        if entry is None:
+            return fail("failed request not in /debug/errors")
+        if entry["class"] != "failed":
+            return fail(f"wrong retention class: {entry['class']}")
+        detail = entry.get("detail") or {}
+        digests = detail.get("operator_digests") or []
+        if not digests:
+            return fail("flight entry lost the operator digest trail")
+        if detail.get("failed_operator") != "generate_sql":
+            return fail(
+                f"failed operator not attributed: {detail!r}"
+            )
+        if "forced failure" not in detail.get("error", ""):
+            return fail("error text not retained")
+
+        # 4. both requests visible in the request ring.
+        status, _, ring = request(server.port, "GET", "/debug/requests")
+        ids = {r["request_id"] for r in ring["requests"]}
+        if not {"smoke-ok-1", "smoke-fail-1"} <= ids:
+            return fail(f"/debug/requests incomplete: {sorted(ids)}")
+    finally:
+        server.stop()
+    print(
+        "debug-smoke: ok — traceparent round-trip, /metrics scrape, "
+        "failed request reconstructed from /debug/errors"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

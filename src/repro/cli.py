@@ -417,6 +417,18 @@ def cmd_trace(args, out=sys.stdout):
     """Render an exported trace file as a span tree with rollups."""
     from .obs import load_trace, render_trace_payload
 
+    if args.follow:
+        from .obs.render import follow_trace
+
+        try:
+            follow_trace(
+                args.path,
+                out=lambda line: print(line, file=out, flush=True),
+                poll_s=args.poll,
+            )
+        except KeyboardInterrupt:
+            pass
+        return 0
     try:
         payload = load_trace(args.path)
     except OSError as error:
@@ -727,6 +739,8 @@ def cmd_serve(args, out=sys.stdout):
         record_runs=bool(args.ledger_dir),
         telemetry_out=args.telemetry_out,
         trace_out=args.trace_out,
+        slow_ms=args.slow_ms,
+        sample_every=args.sample_every,
     )
     server = ServerThread(app, host=args.host, port=args.port).start()
     print(
@@ -824,6 +838,15 @@ def build_arg_parser():
     trace.add_argument(
         "--no-metrics", action="store_true",
         help="omit the metrics snapshot section",
+    )
+    trace.add_argument(
+        "--follow", action="store_true",
+        help="tail the trace file, printing spans as exporters add them "
+             "(Ctrl-C to stop)",
+    )
+    trace.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval for --follow (default 0.5)",
     )
     trace.set_defaults(func=cmd_trace)
 
@@ -1130,6 +1153,15 @@ def build_arg_parser():
     serve.add_argument(
         "--trace-out", dest="trace_out", metavar="PATH", default=None,
         help="export the server's request spans on shutdown",
+    )
+    serve.add_argument(
+        "--slow-ms", dest="slow_ms", type=float, default=5000.0,
+        help="flight-recorder slow-request threshold in ms (default 5000)",
+    )
+    serve.add_argument(
+        "--sample-every", dest="sample_every", type=int, default=10,
+        help="flight-record every Nth healthy request as a baseline "
+             "(default 10; 0 disables sampling)",
     )
     serve.set_defaults(func=cmd_serve)
 

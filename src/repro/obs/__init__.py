@@ -35,6 +35,10 @@ cache accessor aside), so any module — parser, engine, pipeline, harness —
 can instrument itself without import cycles.
 """
 
+from .flight import (
+    FLIGHT_CLASSES,
+    FlightRecorder,
+)
 from .ledger import (
     LEDGER_SCHEMA_VERSION,
     RunLedger,
@@ -65,6 +69,7 @@ from .profiler import (
 )
 from .render import (
     build_forest,
+    follow_trace,
     load_trace,
     render_metrics_snapshot,
     render_span_tree,
@@ -108,11 +113,19 @@ from .tracing import (
     SpanEvent,
     Tracer,
     current_span,
+    current_trace_id,
+    format_traceparent,
+    mint_trace_id,
+    parse_traceparent,
     span_name_for_thread,
+    use_trace_context,
+    w3c_span_id,
 )
 
 __all__ = [
     "DEFAULT_BUCKETS_MS",
+    "FLIGHT_CLASSES",
+    "FlightRecorder",
     "LEDGER_SCHEMA_VERSION",
     "METRICS",
     "METRICS_SCHEMA_VERSION",
@@ -137,6 +150,7 @@ __all__ = [
     "build_timing",
     "config_fingerprint",
     "current_span",
+    "current_trace_id",
     "dashboard_from_ledger",
     "detect_shifts",
     "diff_records",
@@ -144,6 +158,8 @@ __all__ = [
     "evaluate_registry",
     "evaluate_slo",
     "first_divergence",
+    "follow_trace",
+    "format_traceparent",
     "get_metrics",
     "global_snapshot",
     "golden_queries_from_record",
@@ -151,8 +167,10 @@ __all__ = [
     "ledger_series",
     "load_slo_specs",
     "load_trace",
+    "mint_trace_id",
     "outcomes_by_question",
     "parse_slo_text",
+    "parse_traceparent",
     "record_metrics",
     "render_dashboard",
     "render_diff",
@@ -169,6 +187,8 @@ __all__ = [
     "span_name_for_thread",
     "split_metric_key",
     "triage_record",
+    "use_trace_context",
+    "w3c_span_id",
     "watch_payload",
     "write_trace",
 ]

@@ -1,0 +1,137 @@
+"""Failure flight recorder: tail-sampling retention of interesting requests.
+
+A :class:`FlightRecorder` keeps a small, bounded set of *fully detailed*
+request records — the operator digest trail, plan, SQL, diagnostics and
+resilience events that a postmortem needs — without retaining every
+request. Requests are classified on completion:
+
+* ``failed``  — HTTP status >= 400 or an unsuccessful pipeline run;
+* ``slow``    — latency at or over the recorder's ``slow_ms`` threshold;
+* ``sampled`` — every ``sample_every``-th request, as a healthy baseline
+  to compare failures against.
+
+Retention is priority-ordered **failed > slow > sampled**: when the total
+bound is hit, the oldest ``sampled`` entry is evicted first, then the
+oldest ``slow``, and only when nothing lower-priority remains does the
+oldest ``failed`` entry go. A burst of healthy traffic can therefore
+never push an unexamined failure out of the ring.
+
+Thread-safe: classification and recording happen on whatever thread
+finishes the request; every mutation runs under one lock.
+
+This is the store behind ``GET /debug/errors`` (DESIGN.md §6i).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: Retention classes, highest priority first.
+FLIGHT_CLASSES = ("failed", "slow", "sampled")
+
+#: Eviction order: lowest priority evicts first.
+_EVICTION_ORDER = ("sampled", "slow", "failed")
+
+
+class FlightRecorder:
+    """Bounded, priority-retained ring of detailed request records."""
+
+    def __init__(self, capacity=64, slow_ms=5000.0, sample_every=10):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.slow_ms = float(slow_ms)
+        self.sample_every = int(sample_every)
+        self._lock = threading.Lock()
+        self._rings = {klass: deque() for klass in FLIGHT_CLASSES}
+        self._seq = 0
+        self._seen = 0
+        self._recorded = {klass: 0 for klass in FLIGHT_CLASSES}
+        self._evicted = 0
+
+    def classify(self, status, failed, latency_ms):
+        """The retention class for one finished request (or ``None``).
+
+        Counts the request toward the sampling cadence either way, so
+        "every Nth request" means every Nth *request*, not every Nth
+        healthy one. The first request is always sampled — the baseline
+        exists from the moment the server answers anything.
+        """
+        with self._lock:
+            self._seen += 1
+            seen = self._seen
+        if failed or (status and status >= 400):
+            return "failed"
+        if latency_ms >= self.slow_ms:
+            return "slow"
+        if self.sample_every > 0 and seen % self.sample_every == 1 % \
+                self.sample_every:
+            return "sampled"
+        return None
+
+    def record(self, klass, entry):
+        """Retain ``entry`` under ``klass``, evicting by priority."""
+        if klass not in self._rings:
+            raise ValueError(f"unknown flight class: {klass!r}")
+        with self._lock:
+            self._seq += 1
+            stamped = dict(entry)
+            stamped["class"] = klass
+            stamped["seq"] = self._seq
+            self._rings[klass].append(stamped)
+            self._recorded[klass] += 1
+            total = sum(len(ring) for ring in self._rings.values())
+            while total > self.capacity:
+                for victim in _EVICTION_ORDER:
+                    if self._rings[victim]:
+                        self._rings[victim].popleft()
+                        self._evicted += 1
+                        total -= 1
+                        break
+        return stamped
+
+    def observe(self, status, failed, latency_ms, entry):
+        """Classify one request and retain it if interesting.
+
+        Returns the retention class, or ``None`` when the request was
+        not kept. ``entry`` is only materialized into the ring on a
+        hit, so the per-request cost of a boring request is one counter
+        increment.
+        """
+        klass = self.classify(status, failed, latency_ms)
+        if klass is not None:
+            self.record(klass, entry() if callable(entry) else entry)
+        return klass
+
+    def entries(self, klass=None, limit=None):
+        """Retained records, newest first (optionally one class only)."""
+        with self._lock:
+            if klass is None:
+                merged = [
+                    dict(entry)
+                    for ring in self._rings.values() for entry in ring
+                ]
+            else:
+                merged = [dict(entry) for entry in self._rings.get(
+                    klass, ())]
+        merged.sort(key=lambda entry: -entry["seq"])
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    def stats(self):
+        """Counters for ``/debug/errors`` and the health endpoint."""
+        with self._lock:
+            return {
+                "seen": self._seen,
+                "retained": {
+                    klass: len(ring)
+                    for klass, ring in self._rings.items()
+                },
+                "recorded": dict(self._recorded),
+                "evicted": self._evicted,
+                "capacity": self.capacity,
+                "slow_ms": self.slow_ms,
+                "sample_every": self.sample_every,
+            }

@@ -22,7 +22,10 @@ schema subsection).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import os
+import re
 import threading
 import time
 from contextlib import contextmanager
@@ -83,6 +86,84 @@ def current_span():
     return stack[-1] if stack else None
 
 
+# -- W3C trace context ---------------------------------------------------
+
+#: ``traceparent`` per https://www.w3.org/TR/trace-context/ version 00:
+#: ``00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>``, lowercase
+#: hex only. All-zero trace or parent ids are invalid by spec.
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+_TRACE_CONTEXT = threading.local()
+
+
+def parse_traceparent(value):
+    """``(trace_id, parent_span_id)`` from a ``traceparent`` header.
+
+    Returns ``None`` for anything that is not a strictly valid version-00
+    header — wrong field widths, uppercase hex, all-zero ids, trailing
+    garbage. Callers mint a fresh context instead of echoing malformed
+    input back to the client.
+    """
+    if not isinstance(value, str):
+        return None
+    match = _TRACEPARENT_RE.match(value.strip())
+    if match is None:
+        return None
+    trace_id, parent_id, _flags = match.groups()
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    return trace_id, parent_id
+
+
+def format_traceparent(trace_id, span_id, sampled=True):
+    """Render a version-00 ``traceparent`` header value."""
+    return f"00-{trace_id}-{span_id}-{'01' if sampled else '00'}"
+
+
+def mint_trace_id():
+    """A fresh random 32-hex-char W3C trace id."""
+    return os.urandom(16).hex()
+
+
+def w3c_span_id(seed_text=None):
+    """A 16-hex-char W3C span id.
+
+    With ``seed_text`` the id is a stable digest of it — the serving
+    layer derives its response span id from the request id so the echoed
+    ``traceparent`` is reproducible for a given request. Without a seed
+    it is random.
+    """
+    if seed_text is None:
+        return os.urandom(8).hex()
+    return hashlib.blake2b(
+        str(seed_text).encode("utf-8"), digest_size=8
+    ).hexdigest()
+
+
+@contextmanager
+def use_trace_context(trace_id):
+    """Set this thread's ambient trace id for the duration of the block.
+
+    Spans opened inside the block (on this thread) are stamped with the
+    id — this is how a serve request's trace id follows the work onto a
+    pipeline worker thread. Contexts nest; the previous id is restored
+    on exit.
+    """
+    previous = getattr(_TRACE_CONTEXT, "trace_id", "")
+    _TRACE_CONTEXT.trace_id = str(trace_id or "")
+    try:
+        yield
+    finally:
+        _TRACE_CONTEXT.trace_id = previous
+
+
+def current_trace_id():
+    """This thread's ambient W3C trace id ("" outside any context)."""
+    return getattr(_TRACE_CONTEXT, "trace_id", "")
+
+
 @dataclass
 class SpanEvent:
     """A point-in-time annotation on a span.
@@ -122,6 +203,10 @@ class Span:
     status: str = "ok"
     error: str = ""
     events: list = field(default_factory=list)
+    #: W3C trace id inherited from the thread's ambient trace context
+    #: ("" outside any context — batch runs stay id-free, so their
+    #: exported records are unchanged).
+    trace_id: str = ""
 
     def set_attr(self, key, value):
         self.attributes[key] = value
@@ -145,6 +230,8 @@ class Span:
             "duration_ms": round(self.duration_ms, 3),
             "status": self.status,
         }
+        if self.trace_id:
+            record["trace_id"] = self.trace_id
         if self.attributes:
             record["attributes"] = dict(self.attributes)
         if self.error:
@@ -163,8 +250,13 @@ class Tracer:
     through the per-thread ambient stack.
     """
 
-    def __init__(self):
+    def __init__(self, max_finished=None):
+        """``max_finished`` bounds the retained span lists (oldest spans
+        dropped first) — long-lived tracers like the serving layer's set
+        it so per-request spans cannot grow memory without bound. Batch
+        tracers keep the unbounded default (every span is exported)."""
         self._lock = threading.Lock()
+        self._max_finished = max_finished
         self._finished = []
         self._all = []              # every span ever started (for events)
         self._epoch = time.perf_counter()
@@ -182,9 +274,11 @@ class Tracer:
             parent_id=parent.span_id if parent is not None else None,
             start_ms=(time.perf_counter() - self._epoch) * 1000.0,
             attributes=dict(attributes),
+            trace_id=current_trace_id(),
         )
         with self._lock:
             self._all.append(span)
+            self._trim(self._all)
         stack.append(span)
         started = time.perf_counter()
         try:
@@ -195,9 +289,22 @@ class Tracer:
             raise
         finally:
             span.duration_ms = (time.perf_counter() - started) * 1000.0
-            stack.pop()
+            # Remove *this* span, not whatever is on top: overlapping
+            # spans on one thread (interleaved async dispatches) must not
+            # pop each other's frames.
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] is span:
+                    del stack[index]
+                    break
             with self._lock:
                 self._finished.append(span)
+                self._trim(self._finished)
+
+    def _trim(self, spans):
+        # Caller holds the lock.
+        if self._max_finished is not None and \
+                len(spans) > self._max_finished:
+            del spans[: len(spans) - self._max_finished]
 
     # -- events ----------------------------------------------------------
 

@@ -228,3 +228,63 @@ class GenerationResult:
         per line for the ``python -m repro trace`` inspector.
         """
         return self.context.tracer.to_records()
+
+    def debug_payload(self):
+        """The postmortem detail for one run, JSON-ready.
+
+        This is what the serving layer's flight recorder retains for a
+        failed/slow/sampled request (DESIGN.md §6i): the operator digest
+        trail, the rendered plan, every candidate and repair attempt,
+        diagnostics and plan-lint codes, degradations, resilience-visible
+        events and LLM call accounting — enough to reconstruct *why* the
+        run produced what it did without re-running the question.
+        """
+        context = self.context
+        final_diagnostics = context.candidate_diagnostics.get(
+            self.sql, ()
+        )
+        plan_findings = (
+            context.candidate_plan_findings.get(self.sql)
+            or context.plan_findings
+        )
+        return {
+            "question": self.question,
+            "reformulated": context.reformulated,
+            "sql": self.sql,
+            "success": bool(self.success),
+            "error": self.error,
+            "failed_operator": context.failed_operator,
+            "plan": self.plan.render() if self.plan else "",
+            "candidates": list(context.candidates),
+            "attempts": [
+                {"sql": sql, "error": error}
+                for sql, error in context.attempts
+            ],
+            "degraded": [
+                {"operator": name, "reason": reason}
+                for name, reason in context.degraded_operators
+            ],
+            "operator_digests": [
+                {"operator": name, "digest": digest}
+                for name, digest in context.operator_digests
+            ],
+            "lint_codes": sorted({
+                diagnostic.code for diagnostic in final_diagnostics
+            }),
+            "plan_codes": sorted({
+                finding.code for finding in plan_findings
+            }),
+            "events": [str(event) for event in self.trace],
+            "llm_calls": [
+                {
+                    "operator": call.operator,
+                    "model": call.model,
+                    "input_tokens": call.input_tokens,
+                    "output_tokens": call.output_tokens,
+                    "cost_usd": round(call.cost_usd, 10),
+                }
+                for call in context.meter.calls
+            ],
+            "cost_usd": round(self.cost_usd, 10),
+            "latency_ms": self.latency_ms,
+        }

@@ -40,8 +40,13 @@ import time
 from ..bench.metrics import EvaluationReport, QuestionOutcome, \
     execution_match
 from ..obs.metrics import get_metrics, global_snapshot
+from ..obs.tracing import current_trace_id, use_trace_context
 from ..resilience import DEFAULT_RETRY_POLICY
-from .middleware import ServeObservability, request_id_from_headers
+from .middleware import (
+    ServeObservability,
+    request_id_from_headers,
+    trace_context_from_headers,
+)
 from .pool import DeadlineExceeded, PoolDraining, PoolSaturated, WorkerPool
 from .router import HTTPError, Router
 from .schemas import (
@@ -80,7 +85,8 @@ class ServeApp:
                  deadline_ms=DEFAULT_DEADLINE_MS, ledger_dir=None,
                  record_runs=False, telemetry_out=None, trace_out=None,
                  registry=None, profiles=None, workload=None,
-                 knowledge_sets=None):
+                 knowledge_sets=None, slow_ms=5000.0, sample_every=10,
+                 flight_capacity=64):
         self.seed = seed
         self.databases = list(databases) if databases else None
         self.deadline_ms = float(deadline_ms)
@@ -89,12 +95,26 @@ class ServeApp:
         self.telemetry_out = telemetry_out
         self.trace_out = trace_out
         self.pool = WorkerPool(workers=workers, queue_depth=queue_depth)
-        self.obs = ServeObservability(registry=registry)
+        self.obs = ServeObservability(
+            registry=registry, slow_ms=slow_ms, sample_every=sample_every,
+            flight_capacity=flight_capacity,
+        )
         self.registry = self.obs.registry
         self._injected = (profiles, workload, knowledge_sets)
         self._tenants = {}
         self._outcomes = []
         self._outcome_lock = threading.Lock()
+        #: (tenant, question_id) -> {request_id, trace_id}: the volatile
+        #: per-run index recorded into the ledger's ``meta.json`` (never
+        #: the content-addressed record body — ids are non-deterministic).
+        self._request_index = {}
+        #: Handler-produced flight/debug payloads parked by request id
+        #: until the dispatch loop claims them (bounded: a 504 can leave
+        #: an orphan behind when its worker finishes late).
+        self._debug_lock = threading.Lock()
+        self._debug_by_request = {}
+        self._tenant_stats = {}
+        self._tenant_stats_lock = threading.Lock()
         self._telemetry = None
         self._started = False
         self._shutdown_done = False
@@ -138,6 +158,9 @@ class ServeApp:
             self._tenants[name] = TenantState(
                 name, profiles[name], knowledge_sets[name], retry_policy
             )
+            self._tenant_stats[name] = {
+                "requests": 0, "failures": 0, "scored": 0, "correct": 0,
+            }
         if self.telemetry_out:
             from ..obs.telemetry import TelemetrySink
 
@@ -193,20 +216,32 @@ class ServeApp:
         router.add("GET", "/runs/{run_id}", self._handle_run_detail,
                    name="runs")
         router.add("GET", "/healthz", self._handle_healthz, name="healthz")
+        router.add("GET", "/metrics", self._handle_metrics, name="metrics")
+        router.add("GET", "/debug/requests", self._handle_debug_requests,
+                   name="debug")
+        router.add("GET", "/debug/traces/{trace_id}",
+                   self._handle_debug_trace, name="debug")
+        router.add("GET", "/debug/errors", self._handle_debug_errors,
+                   name="debug")
         return router
 
     async def dispatch(self, method, path, headers, body):
-        """One request in, ``(status, headers, payload_dict)`` out."""
+        """One request in, ``(status, headers, payload)`` out."""
         request_id = request_id_from_headers(headers)
+        trace_id, _parent_span_id, response_traceparent = \
+            trace_context_from_headers(headers, request_id)
         try:
             route, params = self.router.match(method, path)
             route_name = route.name
         except HTTPError as error:
             route, params, route_name = None, {}, "unmatched"
             matched_error = error
-        response_headers = {"X-Request-Id": request_id}
-        with self.obs.request(method, path, route_name, request_id) \
-                as holder:
+        response_headers = {
+            "X-Request-Id": request_id,
+            "traceparent": response_traceparent,
+        }
+        with self.obs.request(method, path, route_name, request_id,
+                              trace_id=trace_id) as holder:
             if route is None:
                 status, payload = matched_error.status, error_response(
                     matched_error.status, matched_error.message,
@@ -216,7 +251,7 @@ class ServeApp:
             else:
                 try:
                     status, payload, extra = await self._invoke(
-                        route, params, body, request_id
+                        route, params, body, request_id, trace_id
                     )
                     response_headers.update(extra)
                 except ValidationError as error:
@@ -228,13 +263,16 @@ class ServeApp:
                     )
                     response_headers.update(error.headers)
             holder["status"] = status
+            self._claim_debug(request_id, holder)
         return status, response_headers, payload
 
-    async def _invoke(self, route, params, body, request_id):
+    async def _invoke(self, route, params, body, request_id, trace_id):
         request = None
         if route.schema is not None:
             request = route.schema.from_payload(self._json_body(body))
         if not route.pooled:
+            # Introspection handlers run on the event loop, inside the
+            # middleware's ambient trace context already.
             return route.handler(request=request, params=params,
                                  request_id=request_id)
         deadline_s = self.deadline_ms / 1000.0
@@ -255,11 +293,17 @@ class ServeApp:
                     "Retry-After": f"{max(error.retry_after_s, 1):.0f}"
                 },
             ) from None
+
+        def call():
+            # Worker threads have their own ambient stacks: re-enter the
+            # request's trace context here so pipeline spans opened on
+            # this thread inherit the same trace id as the span root.
+            with use_trace_context(trace_id):
+                return route.handler(request=request, params=params,
+                                     request_id=request_id)
+
         try:
-            return await self.pool.run(
-                route.handler, request, params, request_id,
-                deadline_s=deadline_s,
-            )
+            return await self.pool.run(call, deadline_s=deadline_s)
         except DeadlineExceeded:
             self.obs.rejection("deadline")
             raise HTTPError(
@@ -290,6 +334,47 @@ class ServeApp:
             )
         return tenant
 
+    # -- handler debug payloads ------------------------------------------
+
+    #: Parked debug payloads beyond this are dropped oldest-first; only
+    #: requests that died between handler completion and dispatch claim
+    #: (a late worker after a 504) ever accumulate here.
+    _DEBUG_STASH_LIMIT = 1024
+
+    def _stash_debug(self, request_id, tenant, failed, spans, detail):
+        """Park a handler's flight/debug payload for the dispatch loop."""
+        with self._debug_lock:
+            self._debug_by_request[request_id] = {
+                "tenant": tenant,
+                "failed": failed,
+                "debug": {"spans": spans, "detail": detail},
+            }
+            while len(self._debug_by_request) > self._DEBUG_STASH_LIMIT:
+                self._debug_by_request.pop(
+                    next(iter(self._debug_by_request))
+                )
+
+    def _claim_debug(self, request_id, holder):
+        """Move a parked debug payload into the middleware holder."""
+        with self._debug_lock:
+            stashed = self._debug_by_request.pop(request_id, None)
+        if stashed is not None:
+            holder.update(stashed)
+
+    def _count_tenant(self, name, failed, correct):
+        with self._tenant_stats_lock:
+            stats = self._tenant_stats.setdefault(
+                name,
+                {"requests": 0, "failures": 0, "scored": 0, "correct": 0},
+            )
+            stats["requests"] += 1
+            if failed:
+                stats["failures"] += 1
+            if correct is not None:
+                stats["scored"] += 1
+                if correct:
+                    stats["correct"] += 1
+
     # -- pooled handlers (worker threads) --------------------------------
 
     def _handle_ask(self, request, params, request_id):
@@ -300,7 +385,15 @@ class ServeApp:
             correct = bool(result.success) and execution_match(
                 tenant.profile.database, result.sql, request.gold_sql
             )
-        self._record_outcome(tenant, request, result, correct)
+        self._record_outcome(tenant, request, result, correct, request_id)
+        self._count_tenant(tenant.name, not result.success, correct)
+        detail = result.debug_payload()
+        if request.question_id:
+            detail["question_id"] = request.question_id
+        self._stash_debug(
+            request_id, tenant.name, not result.success,
+            result.trace_records(), detail,
+        )
         if self._telemetry is not None:
             self._telemetry.publish()
         return 200, ask_response(request, request_id, result, correct), {}
@@ -316,6 +409,14 @@ class ServeApp:
                                 tracer=self.obs.tracer)
         result = solver.ask(request.question)
         recommendations = solver.give_feedback(request.feedback)
+        self._count_tenant(tenant.name, not result.success, None)
+        detail = result.debug_payload()
+        detail["feedback"] = request.feedback
+        detail["recommendations"] = len(recommendations)
+        self._stash_debug(
+            request_id, tenant.name, not result.success,
+            result.trace_records(), detail,
+        )
         if self._telemetry is not None:
             self._telemetry.publish()
         return 200, feedback_response(
@@ -344,24 +445,72 @@ class ServeApp:
     def _handle_healthz(self, request, params, request_id):
         stats = self.pool.stats()
         status = "draining" if stats["draining"] else "ok"
+        with self._tenant_stats_lock:
+            tenant_detail = {
+                name: dict(counters)
+                for name, counters in sorted(self._tenant_stats.items())
+            }
         return (200 if status == "ok" else 503), {
             "status": status,
             "tenants": sorted(self._tenants),
+            "tenant_detail": tenant_detail,
             "inflight": stats["inflight"],
             "capacity": stats["max_inflight"],
             "admitted": stats["admitted"],
             "rejected": stats["rejected"],
             "outcomes": len(self._outcomes),
+            "flight": self.obs.flight.stats(),
+        }, {}
+
+    def _handle_metrics(self, request, params, request_id):
+        """Prometheus text exposition of the live metrics registry."""
+        from ..obs.telemetry import render_promtext
+
+        return 200, render_promtext(self._snapshot()), {
+            "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+        }
+
+    def _handle_debug_requests(self, request, params, request_id):
+        return 200, {
+            "requests": self.obs.requests.entries(limit=100),
+            "capacity": self.obs.requests.capacity,
+        }, {}
+
+    def _handle_debug_trace(self, request, params, request_id):
+        trace_id = params["trace_id"]
+        spans = self.obs.traces.get(trace_id)
+        if spans is None:
+            raise HTTPError(
+                404, "unknown trace",
+                detail={"trace_id": trace_id,
+                        "retained": len(self.obs.traces)},
+            )
+        from ..obs.render import render_span_tree
+
+        return 200, {
+            "trace_id": trace_id,
+            "spans": spans,
+            "tree": render_span_tree(spans),
+        }, {}
+
+    def _handle_debug_errors(self, request, params, request_id):
+        return 200, {
+            "errors": self.obs.flight.entries(),
+            "stats": self.obs.flight.stats(),
         }, {}
 
     # -- the serve-run ledger record -------------------------------------
 
-    def _record_outcome(self, tenant, request, result, correct):
+    def _record_outcome(self, tenant, request, result, correct,
+                        request_id=""):
         """Accumulate a harness-identical outcome for benchmark traffic.
 
         Only requests that identify themselves as benchmark questions
         (``question_id`` set) are recorded — live analyst traffic leaves
-        no ledger entries.
+        no ledger entries. The request/trace ids go into the volatile
+        per-run index (``meta.json``), never the outcome itself: the
+        content-addressed record body must stay byte-identical across
+        sweeps whatever ids the traffic carried.
         """
         if not request.question_id:
             return
@@ -415,6 +564,12 @@ class ServeApp:
         )
         with self._outcome_lock:
             self._outcomes.append(outcome)
+            self._request_index[
+                f"{tenant.name}/{request.question_id}"
+            ] = {
+                "request_id": request_id,
+                "trace_id": current_trace_id(),
+            }
 
     def _record_serve_run(self):
         """Persist accumulated outcomes as one deterministic ledger run.
@@ -447,10 +602,16 @@ class ServeApp:
                 for name, tenant in sorted(self._tenants.items())
             },
         )
+        with self._outcome_lock:
+            request_index = {
+                key: dict(value)
+                for key, value in sorted(self._request_index.items())
+            }
         self.last_run_id = self._ledger().record_run(
             record,
             timing=build_timing(self.obs.tracer.to_records()),
             meta={"databases": self.databases,
-                  "pool": self.pool.stats()},
+                  "pool": self.pool.stats(),
+                  "requests": request_index},
         )
         return self.last_run_id

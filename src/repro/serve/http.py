@@ -46,12 +46,23 @@ class _BadRequest(Exception):
 
 
 def render_response(status, headers, payload):
-    """Serialize one response to bytes (sorted-key JSON body)."""
-    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    """Serialize one response to bytes.
+
+    Dict/list payloads render as sorted-key JSON; a ``str`` payload is
+    sent as-is with a text content type — the shape ``GET /metrics``
+    needs for its Prometheus text exposition. Handler-supplied headers
+    (e.g. an explicit ``Content-Type``) override the defaults.
+    """
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = "text/plain; charset=utf-8"
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        content_type = "application/json"
     reason = _REASONS.get(status, "Unknown")
     lines = [f"HTTP/1.1 {status} {reason}"]
     merged = {
-        "Content-Type": "application/json",
+        "Content-Type": content_type,
         "Content-Length": str(len(body)),
     }
     merged.update(headers or {})

@@ -145,8 +145,10 @@ def run_workers(host, port, plan, concurrency, scored=False,
                 timeout=120.0):
     """Drive ``plan`` through ``concurrency`` closed-loop workers.
 
-    Returns per-request samples: ``(status, latency_ms, body)`` in
-    completion order.
+    Returns per-request samples: ``(status, latency_ms, body, headers)``
+    in completion order. The response headers carry the server's
+    ``X-Request-Id`` and ``traceparent`` — what lets the report name the
+    slowest request for a ``/debug/traces/{trace_id}`` lookup.
     """
     iterator = iter(plan)
     feed_lock = threading.Lock()
@@ -162,12 +164,12 @@ def run_workers(host, port, plan, concurrency, scored=False,
                 if question is None:
                     return
                 started = time.perf_counter()
-                status, _, body = client.request(
+                status, headers, body = client.request(
                     "POST", "/ask", ask_payload(question, scored)
                 )
                 elapsed_ms = (time.perf_counter() - started) * 1000.0
                 with samples_lock:
-                    samples.append((status, elapsed_ms, body))
+                    samples.append((status, elapsed_ms, body, headers))
         finally:
             client.close()
 
@@ -230,15 +232,44 @@ def probe_backpressure(host, port, question, rounds=5):
             "burst": burst, "capacity": capacity}
 
 
+def _slowest_sample(samples):
+    """The report entry for the slowest request of a run.
+
+    Pulls the request/trace ids from the response headers (4-tuple
+    samples; 3-tuple samples from older callers report latency only) so
+    the slowest request can be looked up live via
+    ``/debug/traces/{trace_id}`` or ``/debug/requests``.
+    """
+    slowest = max(samples, key=lambda sample: sample[1])
+    headers = {
+        name.lower(): value for name, value in
+        (slowest[3] if len(slowest) > 3 else {}).items()
+    }
+    entry = {
+        "status": slowest[0],
+        "latency_ms": round(slowest[1], 3),
+        "request_id": headers.get("x-request-id", ""),
+        "trace_id": "",
+    }
+    parsed = None
+    if headers.get("traceparent"):
+        from ..obs.tracing import parse_traceparent
+
+        parsed = parse_traceparent(headers["traceparent"])
+    if parsed is not None:
+        entry["trace_id"] = parsed[0]
+    return entry
+
+
 def summarize(samples, duration_s, probe=None):
     """The loadgen report: QPS, latency percentiles, status breakdown."""
-    latencies = [latency for _, latency, _ in samples]
+    latencies = [sample[1] for sample in samples]
     statuses = {}
-    for status, _, _ in samples:
-        statuses[status] = statuses.get(status, 0) + 1
+    for sample in samples:
+        statuses[sample[0]] = statuses.get(sample[0], 0) + 1
     scored = [
-        body for status, _, body in samples
-        if status == 200 and body.get("correct") is not None
+        sample[2] for sample in samples
+        if sample[0] == 200 and sample[2].get("correct") is not None
     ]
     report = {
         "requests": len(samples),
@@ -253,6 +284,8 @@ def summarize(samples, duration_s, probe=None):
             if not 200 <= status < 300
         ),
     }
+    if samples:
+        report["slowest"] = _slowest_sample(samples)
     if scored:
         report["scored"] = len(scored)
         report["correct"] = sum(1 for body in scored if body["correct"])
@@ -350,6 +383,17 @@ def run_loadgen(host="127.0.0.1", port=0, databases=None, seed=7,
         f"{report['duration_s']}s — {report['qps']} QPS, "
         f"p50 {report['p50_ms']}ms, p99 {report['p99_ms']}ms"
     )
+    slowest = report.get("slowest")
+    if slowest:
+        out(
+            f"loadgen: slowest {slowest['latency_ms']}ms "
+            f"request-id={slowest['request_id'] or '?'} "
+            f"trace-id={slowest['trace_id'] or '?'}"
+            + (
+                f" (GET /debug/traces/{slowest['trace_id']})"
+                if slowest["trace_id"] else ""
+            )
+        )
     if "scored" in report:
         out(
             f"loadgen: EX {report['correct']}/{report['scored']} correct"

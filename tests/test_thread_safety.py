@@ -222,6 +222,89 @@ class TestMetricsRegistryContention:
         assert histogram["count"] == THREADS * ROUNDS
 
 
+class TestIntrospectionRings:
+    """The serving layer's debug ring buffers stay bounded and race-free
+    under N barrier-started writer threads (DESIGN.md §6i)."""
+
+    def test_flight_recorder_bounded_with_priority_intact(self):
+        from repro.obs.flight import FlightRecorder
+
+        capacity = 16
+        flight = FlightRecorder(capacity=capacity, slow_ms=100.0,
+                                sample_every=2)
+        statuses = [(500, 0.0), (200, 500.0), (200, 1.0)]
+
+        def worker(index):
+            for round_number in range(ROUNDS):
+                status, latency = statuses[
+                    (index + round_number) % len(statuses)
+                ]
+                flight.observe(
+                    status, False, latency,
+                    {"id": f"{index}-{round_number}"},
+                )
+
+        _hammer(worker)
+        stats = flight.stats()
+        assert stats["seen"] == THREADS * ROUNDS
+        retained = sum(stats["retained"].values())
+        assert retained <= capacity
+        assert len(flight.entries()) == retained
+        # every failed observation was recorded, and with failures
+        # saturating the ring, the survivors are all top-priority.
+        expected_failed = sum(
+            1 for index in range(THREADS)
+            for round_number in range(ROUNDS)
+            if statuses[(index + round_number) % len(statuses)][0] == 500
+        )
+        assert stats["recorded"]["failed"] == expected_failed
+        assert all(
+            entry["class"] == "failed" for entry in flight.entries()
+        )
+
+    def test_request_log_and_trace_store_bounded(self):
+        from repro.serve.middleware import RequestLog, TraceStore
+
+        log = RequestLog(capacity=32)
+        store = TraceStore(capacity=16, max_spans=8)
+
+        def worker(index):
+            for round_number in range(ROUNDS):
+                log.add({"request_id": f"{index}-{round_number}"})
+                store.add(
+                    f"trace-{round_number % 64}",
+                    [{"span_id": f"{index}-{round_number}"}],
+                )
+
+        _hammer(worker)
+        assert len(log) == 32
+        assert len(log.entries()) == 32
+        assert len(store) <= 16
+        for trace_id in store.trace_ids():
+            assert len(store.get(trace_id)) <= 8
+
+    def test_tracer_bounded_under_concurrent_spans(self):
+        from repro.obs.tracing import Tracer, use_trace_context
+
+        tracer = Tracer(max_finished=64)
+
+        def worker(index):
+            with use_trace_context(f"{index:032x}"):
+                for _ in range(ROUNDS):
+                    with tracer.span("hammer", worker=index):
+                        pass
+
+        _hammer(worker)
+        spans = tracer.finished_spans()
+        assert len(spans) == 64
+        # every retained span carries the trace id of the thread that
+        # opened it — ambient contexts never bled across threads.
+        assert all(
+            span.trace_id == f"{span.attributes['worker']:032x}"
+            for span in spans
+        )
+
+
 class TestLedgerConcurrentWriters:
     def test_same_second_writers_get_distinct_ids(self, tmp_path):
         ledger = RunLedger(str(tmp_path))
